@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "net/topologies.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+// Shared plumbing for the per-table/per-figure harnesses.
+//
+// Every harness accepts:
+//   --scale=<f>   multiply the paper's timeline by f (default below 1 so the
+//                 whole bench directory replays in minutes; use --scale=1
+//                 for the paper's full durations)
+//   --seed=<n>    root RNG seed
+//   --csv=<dir>   also dump figure series as CSV files into <dir>
+namespace ezflow::bench {
+
+struct BenchArgs {
+    double scale;
+    std::uint64_t seed;
+    std::string csv_dir;
+
+    static BenchArgs parse(int argc, char** argv, double default_scale)
+    {
+        util::Cli cli(argc, argv);
+        BenchArgs args;
+        args.scale = cli.get_double("scale", default_scale);
+        args.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+        args.csv_dir = cli.get("csv", "");
+        return args;
+    }
+};
+
+inline void print_header(const std::string& title, const std::string& paper_reference)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s)\n", paper_reference.c_str());
+    std::printf("==============================================================\n");
+}
+
+/// The three activity periods of scenario 1 (Fig. 5 timeline), scaled.
+struct Scenario1Periods {
+    double p1_begin, p1_end;  ///< F1 alone
+    double p2_begin, p2_end;  ///< F1 + F2
+    double p3_begin, p3_end;  ///< F1 alone again
+    double total;
+
+    explicit Scenario1Periods(double scale)
+        : p1_begin(5 * scale),
+          p1_end(605 * scale),
+          p2_begin(605 * scale),
+          p2_end(1804 * scale),
+          p3_begin(1804 * scale),
+          p3_end(2504 * scale),
+          total(2504 * scale)
+    {
+    }
+};
+
+/// Run scenario 1 under one mode and return the finished experiment.
+inline std::unique_ptr<analysis::Experiment> run_scenario1(const BenchArgs& args,
+                                                           analysis::Mode mode)
+{
+    analysis::ExperimentOptions options;
+    options.mode = mode;
+    auto exp =
+        std::make_unique<analysis::Experiment>(net::make_scenario1(args.scale, args.seed), options);
+    exp->run();
+    return exp;
+}
+
+/// The three activity periods of scenario 2 (Fig. 9 timeline), scaled.
+struct Scenario2Periods {
+    double p1_begin, p1_end;  ///< F1 + F2
+    double p2_begin, p2_end;  ///< F1 + F2 + F3
+    double p3_begin, p3_end;  ///< F1 alone
+    double total;
+
+    explicit Scenario2Periods(double scale)
+        : p1_begin(5 * scale),
+          p1_end(1805 * scale),
+          p2_begin(1805 * scale),
+          p2_end(3605 * scale),
+          p3_begin(3605 * scale),
+          p3_end(4500 * scale),
+          total(4500 * scale)
+    {
+    }
+};
+
+inline std::unique_ptr<analysis::Experiment> run_scenario2(const BenchArgs& args,
+                                                           analysis::Mode mode)
+{
+    analysis::ExperimentOptions options;
+    options.mode = mode;
+    auto exp =
+        std::make_unique<analysis::Experiment>(net::make_scenario2(args.scale, args.seed), options);
+    exp->run();
+    return exp;
+}
+
+/// Dump a time series as CSV when --csv was given.
+inline void maybe_dump_series(const BenchArgs& args, const std::string& name,
+                              const std::vector<std::pair<std::string, const util::TimeSeries*>>& series)
+{
+    if (args.csv_dir.empty()) return;
+    for (const auto& [label, ts] : series) {
+        util::CsvWriter csv(args.csv_dir + "/" + name + "_" + label + ".csv", {"time_s", "value"});
+        for (std::size_t i = 0; i < ts->size(); ++i)
+            csv.add_row(std::vector<double>{util::to_seconds(ts->times()[i]), ts->values()[i]});
+    }
+    std::printf("[csv] wrote %zu series under %s/%s_*.csv\n", series.size(), args.csv_dir.c_str(),
+                name.c_str());
+}
+
+}  // namespace ezflow::bench

@@ -1,0 +1,62 @@
+// Figure 8: evolution of the CWmin values EZ-Flow assigns at the nodes of
+// scenario 1. Paper: in the single-flow stable regime the relays sit at
+// the minimum 2^4 while the source rises to 2^7; during the two-flow
+// period the sources climb to ~2^11 (matching the static penalty solution
+// q = 2^4 / 2^11 = 1/128 of [9]).
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ezflow;
+using namespace ezflow::bench;
+using namespace ezflow::analysis;
+
+int label_to_node(const net::Scenario& scenario, const std::string& label)
+{
+    for (const auto& [id, l] : scenario.labels)
+        if (l == label) return id;
+    return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv, 0.3);
+    print_header("fig08_scenario1_cw: EZ-Flow contention-window evolution",
+                 "Fig. 8 — relays at 2^4; F1 source to ~2^7 alone, sources to ~2^11 together");
+    const Scenario1Periods periods(args.scale);
+    auto exp = run_scenario1(args, Mode::kEzFlow);
+    const net::Scenario& scenario = exp->scenario();
+
+    // The nodes the paper plots: the two sources (N12, N11), the first
+    // relays of each branch (N10, N9, N8, N7) and a trunk relay (N4).
+    const std::vector<std::string> labels = {"N12", "N11", "N10", "N9", "N8", "N7", "N4"};
+    util::Table table({"node", "log2(cw) @F1-alone", "log2(cw) @both", "log2(cw) @end"});
+    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
+    for (const std::string& label : labels) {
+        const int node = label_to_node(scenario, label);
+        if (node < 0) continue;
+        const util::TimeSeries& trace = exp->cw_tracer().trace(node);
+        auto log_cw_at = [&](double t_s) {
+            const double cw = trace.mean_between(util::from_seconds(t_s - 10.0 * args.scale),
+                                                 util::from_seconds(t_s + 40.0 * args.scale));
+            return cw > 0 ? std::log2(cw) : 0.0;
+        };
+        table.add_row({label, util::Table::num(log_cw_at(periods.p1_end - 50 * args.scale), 1),
+                       util::Table::num(log_cw_at(periods.p2_end - 50 * args.scale), 1),
+                       util::Table::num(log_cw_at(periods.p3_end - 50 * args.scale), 1)});
+        series.emplace_back(label, &trace);
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_dump_series(args, "fig08_cw", series);
+    std::printf(
+        "\nExpected shape: sources carry the largest windows (self-throttling),\n"
+        "relays near the gateway stay at/near the 2^4 minimum, windows rise when\n"
+        "F2 joins and relax back after it leaves — the distribution [9] proved\n"
+        "stable, discovered online.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 11: EZ-Flow's CWmin evolution at the two first nodes of each flow
+// in scenario 2. Paper: cw10 (F2's source) climbs to 2^10 in period 1;
+// in period 2 the sources sit at cw10 = cw19 = 2^9 and cw0 = 2^7, the
+// competition-aware distribution that un-starves the crossing flows.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ezflow;
+using namespace ezflow::bench;
+using namespace ezflow::analysis;
+
+int label_to_node(const net::Scenario& scenario, const std::string& label)
+{
+    for (const auto& [id, l] : scenario.labels)
+        if (l == label) return id;
+    return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
+    print_header("fig11_scenario2_cw: contention windows at the flows' first nodes",
+                 "Fig. 11 — sources self-throttle (2^7..2^10); first relays stay aggressive");
+    const Scenario2Periods periods(args.scale);
+    auto exp = run_scenario2(args, Mode::kEzFlow);
+    const net::Scenario& scenario = exp->scenario();
+
+    // The paper plots cw0, cw1 (F1), cw10, cw11 (F2), cw19, cw20 (F3).
+    const std::vector<std::string> labels = {"N0", "N1", "N10", "N11", "N19", "N20"};
+    util::Table table({"node", "log2(cw) @P1", "log2(cw) @P2", "log2(cw) @P3"});
+    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
+    for (const std::string& label : labels) {
+        const int node = label_to_node(scenario, label);
+        if (node < 0) continue;
+        const util::TimeSeries& trace = exp->cw_tracer().trace(node);
+        auto log_cw_at = [&](double t_s) {
+            const double cw = trace.mean_between(util::from_seconds(t_s - 60.0 * args.scale),
+                                                 util::from_seconds(t_s));
+            return cw > 0 ? std::log2(cw) : 0.0;
+        };
+        table.add_row({label, util::Table::num(log_cw_at(periods.p1_end), 1),
+                       util::Table::num(log_cw_at(periods.p2_end), 1),
+                       util::Table::num(log_cw_at(periods.p3_end), 1)});
+        series.emplace_back(label, &trace);
+    }
+    std::printf("%s", table.to_string().c_str());
+    maybe_dump_series(args, "fig11_cw", series);
+    std::printf(
+        "\nExpected shape: each flow's source carries a much larger window than its\n"
+        "first relay; windows grow when a new flow joins (period 2) and relax when\n"
+        "traffic leaves (period 3) — EZ-flow tracking the traffic matrix.\n");
+    return 0;
+}

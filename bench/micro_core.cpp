@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// event queue churn, BOE matching, channel dispatch, CAA decisions and
+// the model's pattern sampler. These bound the simulator's cost per
+// simulated packet, which is what makes the paper-scale runs fast.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment.h"
+#include "core/boe.h"
+#include "core/caa.h"
+#include "mac/mac_queue.h"
+#include "model/walk.h"
+#include "net/packet.h"
+#include "net/topologies.h"
+#include "sim/scheduler.h"
+#include "traffic/source.h"
+
+namespace {
+
+using namespace ezflow;
+
+void BM_SchedulerScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Scheduler scheduler;
+        std::int64_t sum = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            scheduler.schedule_at(i % 997, [&sum] { ++sum; });
+        scheduler.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerCancel(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Scheduler scheduler;
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<std::size_t>(state.range(0)));
+        for (int i = 0; i < state.range(0); ++i)
+            ids.push_back(scheduler.schedule_at(i + 1, [] {}));
+        for (const auto& id : ids) scheduler.cancel(id);
+        scheduler.run();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerCancel)->Arg(4096);
+
+void BM_BoeMatch(benchmark::State& state)
+{
+    core::BufferOccupancyEstimator boe(static_cast<std::size_t>(state.range(0)));
+    std::uint64_t seq = 0;
+    for (int i = 0; i < state.range(0); ++i)
+        boe.on_packet_sent(net::packet_checksum(1, seq++, 0, 5, 1000));
+    std::uint64_t heard = 0;
+    for (auto _ : state) {
+        boe.on_packet_sent(net::packet_checksum(1, seq++, 0, 5, 1000));
+        benchmark::DoNotOptimize(boe.on_packet_overheard(net::packet_checksum(1, heard++, 0, 5, 1000)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BoeMatch)->Arg(100)->Arg(1000);
+
+void BM_CaaDecision(benchmark::State& state)
+{
+    core::ChannelAccessAdaptation caa(core::CaaConfig{}, nullptr);
+    int occupancy = 0;
+    for (auto _ : state) {
+        caa.on_sample(occupancy);
+        occupancy = (occupancy + 7) % 60;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CaaDecision);
+
+void BM_PacketChecksum(benchmark::State& state)
+{
+    std::uint64_t seq = 0;
+    for (auto _ : state) benchmark::DoNotOptimize(net::packet_checksum(1, seq++, 0, 5, 1000));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketChecksum);
+
+void BM_ModelStep(benchmark::State& state)
+{
+    model::RandomWalkModel::Config config;
+    config.hops = static_cast<int>(state.range(0));
+    model::RandomWalkModel walk(config, util::Rng(7));
+    for (auto _ : state) benchmark::DoNotOptimize(walk.step());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelStep)->Arg(4)->Arg(8);
+
+void BM_FourHopSimulatedSecond(benchmark::State& state)
+{
+    // Cost of simulating one second of the saturated 4-hop chain.
+    for (auto _ : state) {
+        state.PauseTiming();
+        net::Scenario scenario = net::make_line(4, 3600.0, 7);
+        analysis::ExperimentOptions options;
+        options.mode = analysis::Mode::kEzFlow;
+        analysis::Experiment exp(std::move(scenario), options);
+        state.ResumeTiming();
+        exp.run_until_s(1.0 * static_cast<double>(state.range(0)));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FourHopSimulatedSecond)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

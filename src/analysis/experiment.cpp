@@ -1,0 +1,120 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ezflow::analysis {
+
+std::string mode_name(Mode mode)
+{
+    switch (mode) {
+        case Mode::kBaseline80211: return "802.11";
+        case Mode::kEzFlow: return "EZ-flow";
+        case Mode::kPenalty: return "penalty-q";
+    }
+    throw std::logic_error("mode_name: unknown mode");
+}
+
+Experiment::Experiment(net::Scenario scenario, ExperimentOptions options)
+    : scenario_(std::move(scenario)), options_(options)
+{
+    net::Network& net = *scenario_.network;
+
+    // Collect transmitting nodes (sources + relays) and cw-trace targets.
+    std::set<net::NodeId> transmitters;
+    std::vector<CwTracer::Target> cw_targets;
+    for (const net::FlowPlan& plan : scenario_.flows) {
+        for (std::size_t i = 0; i + 1 < plan.path.size(); ++i) {
+            if (transmitters.insert(plan.path[i]).second)
+                cw_targets.push_back(CwTracer::Target{plan.path[i], plan.path[i + 1]});
+        }
+    }
+    transmitters_.assign(transmitters.begin(), transmitters.end());
+
+    // Policy under test.
+    switch (options_.mode) {
+        case Mode::kBaseline80211:
+            break;
+        case Mode::kEzFlow:
+            agents_ = core::install_ezflow(net, options_.caa, options_.boe_history,
+                                           options_.boe_sniff_loss);
+            break;
+        case Mode::kPenalty:
+            core::apply_penalty_policy(net, options_.penalty);
+            break;
+    }
+
+    // Traffic and measurement plumbing.
+    sink_ = std::make_unique<traffic::Sink>(net);
+    for (const net::FlowPlan& plan : scenario_.flows) {
+        sink_->attach_flow(plan.flow_id);
+        throughput_[plan.flow_id] =
+            std::make_unique<ThroughputMeter>(net, plan.flow_id, options_.throughput_window);
+        throughput_[plan.flow_id]->start();
+        auto source = std::make_unique<traffic::CbrSource>(net, plan.flow_id, options_.payload_bytes,
+                                                           options_.cbr_rate_bps);
+        source->activate(util::from_seconds(plan.start_s), util::from_seconds(plan.stop_s));
+        sources_.push_back(std::move(source));
+    }
+    buffer_tracer_ =
+        std::make_unique<BufferTracer>(net, transmitters_, options_.buffer_sample_period);
+    buffer_tracer_->start();
+    cw_tracer_ = std::make_unique<CwTracer>(net, cw_targets, options_.cw_sample_period);
+    cw_tracer_->start();
+}
+
+void Experiment::run()
+{
+    double stop_s = 0.0;
+    for (const net::FlowPlan& plan : scenario_.flows) stop_s = std::max(stop_s, plan.stop_s);
+    run_until_s(stop_s + 1.0);
+}
+
+void Experiment::run_until_s(double t_s)
+{
+    scenario_.network->run_until(util::from_seconds(t_s));
+}
+
+ThroughputMeter& Experiment::throughput(int flow_id)
+{
+    const auto it = throughput_.find(flow_id);
+    if (it == throughput_.end()) throw std::invalid_argument("Experiment::throughput: unknown flow");
+    return *it->second;
+}
+
+const core::EzFlowAgent* Experiment::agent(net::NodeId node) const
+{
+    const auto it = agents_.find(node);
+    return it == agents_.end() ? nullptr : it->second.get();
+}
+
+Experiment::FlowSummary Experiment::summarize(int flow_id, double from_s, double to_s) const
+{
+    const auto it = throughput_.find(flow_id);
+    if (it == throughput_.end()) throw std::invalid_argument("Experiment::summarize: unknown flow");
+    const util::SimTime from = util::from_seconds(from_s);
+    const util::SimTime to = util::from_seconds(to_s);
+    FlowSummary summary;
+    summary.mean_kbps = it->second->mean_kbps(from, to);
+    summary.stddev_kbps = it->second->stddev_kbps(from, to);
+    const util::TimeSeries& delays = sink_->flow(flow_id).delay_series;
+    summary.mean_delay_s = delays.mean_between(from, to) / static_cast<double>(util::kSecond);
+    summary.max_delay_s = delays.max_between(from, to) / static_cast<double>(util::kSecond);
+    return summary;
+}
+
+double Experiment::fairness(const std::vector<int>& flow_ids, double from_s, double to_s) const
+{
+    std::vector<double> rates;
+    rates.reserve(flow_ids.size());
+    for (int id : flow_ids) {
+        const auto it = throughput_.find(id);
+        if (it == throughput_.end()) throw std::invalid_argument("Experiment::fairness: unknown flow");
+        rates.push_back(
+            it->second->mean_kbps(util::from_seconds(from_s), util::from_seconds(to_s)));
+    }
+    return jain_index(rates);
+}
+
+}  // namespace ezflow::analysis

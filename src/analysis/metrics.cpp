@@ -1,0 +1,21 @@
+#include "analysis/metrics.h"
+
+#include <stdexcept>
+
+namespace ezflow::analysis {
+
+double jain_index(const std::vector<double>& throughputs)
+{
+    if (throughputs.empty()) throw std::invalid_argument("jain_index: empty input");
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : throughputs) {
+        if (x < 0.0) throw std::invalid_argument("jain_index: negative throughput");
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0) return 1.0;
+    return sum * sum / (static_cast<double>(throughputs.size()) * sum_sq);
+}
+
+}  // namespace ezflow::analysis

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <vector>
+
+namespace ezflow::analysis {
+
+/// Jain's fairness index, Eq. (1) of the paper:
+/// FI = (sum x_i)^2 / (n * sum x_i^2). 1.0 means perfectly fair;
+/// 1/n means one flow takes everything. Throws on an empty input;
+/// all-zero throughputs return 1.0 by convention (everyone equally starved).
+double jain_index(const std::vector<double>& throughputs);
+
+}  // namespace ezflow::analysis

@@ -1,0 +1,110 @@
+#include "analysis/recorder.h"
+
+#include <stdexcept>
+
+namespace ezflow::analysis {
+
+BufferTracer::BufferTracer(net::Network& network, std::vector<net::NodeId> nodes, SimTime period)
+    : network_(network), nodes_(std::move(nodes)), period_(period)
+{
+    if (period_ <= 0) throw std::invalid_argument("BufferTracer: period must be > 0");
+    for (net::NodeId n : nodes_) traces_[n];
+}
+
+void BufferTracer::start()
+{
+    if (started_) throw std::logic_error("BufferTracer::start: already started");
+    started_ = true;
+    network_.scheduler().schedule_in(period_, [this] { sample(); });
+}
+
+void BufferTracer::sample()
+{
+    for (net::NodeId n : nodes_) {
+        const int backlog = network_.node(n).mac().queues().total_packets();
+        traces_.at(n).add(network_.now(), static_cast<double>(backlog));
+    }
+    network_.scheduler().schedule_in(period_, [this] { sample(); });
+}
+
+const util::TimeSeries& BufferTracer::trace(net::NodeId node) const
+{
+    const auto it = traces_.find(node);
+    if (it == traces_.end()) throw std::invalid_argument("BufferTracer::trace: untracked node");
+    return it->second;
+}
+
+double BufferTracer::mean_occupancy(net::NodeId node, SimTime from, SimTime to) const
+{
+    return trace(node).mean_between(from, to);
+}
+
+double BufferTracer::max_occupancy(net::NodeId node) const
+{
+    const util::TimeSeries& t = trace(node);
+    double max = 0.0;
+    for (double v : t.values()) max = std::max(max, v);
+    return max;
+}
+
+ThroughputMeter::ThroughputMeter(net::Network& network, int flow_id, SimTime window)
+    : network_(network), flow_id_(flow_id), window_(window)
+{
+    if (window_ <= 0) throw std::invalid_argument("ThroughputMeter: window must be > 0");
+    const auto& path = network_.routing().path(flow_id);
+    network_.node(path.back()).add_delivery_handler([this](const net::Packet& packet) {
+        if (packet.flow_id == flow_id_)
+            bits_in_window_ += static_cast<std::uint64_t>(packet.bytes) * 8;
+    });
+}
+
+void ThroughputMeter::start()
+{
+    if (started_) throw std::logic_error("ThroughputMeter::start: already started");
+    started_ = true;
+    network_.scheduler().schedule_in(window_, [this] { on_window(); });
+}
+
+void ThroughputMeter::on_window()
+{
+    series_.add(network_.now(), util::kbps(static_cast<std::int64_t>(bits_in_window_), window_));
+    bits_in_window_ = 0;
+    network_.scheduler().schedule_in(window_, [this] { on_window(); });
+}
+
+CwTracer::CwTracer(net::Network& network, std::vector<Target> targets, SimTime period)
+    : network_(network), targets_(std::move(targets)), period_(period)
+{
+    if (period_ <= 0) throw std::invalid_argument("CwTracer: period must be > 0");
+    for (const Target& t : targets_) traces_[t.node];
+}
+
+void CwTracer::start()
+{
+    if (started_) throw std::logic_error("CwTracer::start: already started");
+    started_ = true;
+    network_.scheduler().schedule_in(period_, [this] { sample(); });
+}
+
+void CwTracer::sample()
+{
+    for (const Target& t : targets_) {
+        // Either traffic class toward the successor carries the EZ-Flow
+        // cw; prefer whichever queue exists.
+        const mac::MacQueueSet& queues = network_.node(t.node).mac().queues();
+        const mac::MacQueue* q = queues.find(mac::QueueKey{t.successor, false});
+        if (q == nullptr) q = queues.find(mac::QueueKey{t.successor, true});
+        if (q == nullptr) continue;  // node has not transmitted yet
+        traces_.at(t.node).add(network_.now(), static_cast<double>(q->cw_min()));
+    }
+    network_.scheduler().schedule_in(period_, [this] { sample(); });
+}
+
+const util::TimeSeries& CwTracer::trace(net::NodeId node) const
+{
+    const auto it = traces_.find(node);
+    if (it == traces_.end()) throw std::invalid_argument("CwTracer::trace: untracked node");
+    return it->second;
+}
+
+}  // namespace ezflow::analysis

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mac/mac_queue.h"
+#include "net/network.h"
+#include "util/stats.h"
+
+namespace ezflow::analysis {
+
+using util::SimTime;
+
+/// Samples the MAC buffer occupancy of a set of nodes at a fixed period,
+/// producing the (time, queue size) traces of Fig. 1 and Fig. 4. The
+/// sampled value is the node's total MAC backlog (all interface queues),
+/// which is what the testbed's driver instrumentation measured.
+class BufferTracer {
+public:
+    BufferTracer(net::Network& network, std::vector<net::NodeId> nodes, SimTime period);
+
+    /// Begin periodic sampling at the next period boundary.
+    void start();
+
+    const util::TimeSeries& trace(net::NodeId node) const;
+    /// Mean occupancy of `node` over [from, to).
+    double mean_occupancy(net::NodeId node, SimTime from, SimTime to) const;
+    /// Max occupancy of `node` over the whole trace.
+    double max_occupancy(net::NodeId node) const;
+
+private:
+    void sample();
+
+    net::Network& network_;
+    std::vector<net::NodeId> nodes_;
+    SimTime period_;
+    std::map<net::NodeId, util::TimeSeries> traces_;
+    bool started_ = false;
+};
+
+/// Windowed goodput meter for a flow: records kb/s per window, the series
+/// behind Fig. 6's throughput-vs-time plots.
+class ThroughputMeter {
+public:
+    ThroughputMeter(net::Network& network, int flow_id, SimTime window);
+
+    void start();
+
+    const util::TimeSeries& series() const { return series_; }
+    /// Mean/stddev of the per-window goodput over [from, to), counting
+    /// only windows that end inside the interval.
+    double mean_kbps(SimTime from, SimTime to) const { return series_.mean_between(from, to); }
+    double stddev_kbps(SimTime from, SimTime to) const { return series_.stddev_between(from, to); }
+
+private:
+    void on_window();
+
+    net::Network& network_;
+    int flow_id_;
+    SimTime window_;
+    util::TimeSeries series_;
+    std::uint64_t bits_in_window_ = 0;
+    bool started_ = false;
+};
+
+/// Samples EZ-Flow contention windows (per node, toward a given successor)
+/// periodically: the data behind Fig. 8 / Fig. 11. Works off the MAC's
+/// queue CWmin so it also traces the baseline and penalty policies.
+class CwTracer {
+public:
+    struct Target {
+        net::NodeId node;
+        net::NodeId successor;
+    };
+
+    CwTracer(net::Network& network, std::vector<Target> targets, SimTime period);
+
+    void start();
+
+    const util::TimeSeries& trace(net::NodeId node) const;
+
+private:
+    void sample();
+
+    net::Network& network_;
+    std::vector<Target> targets_;
+    SimTime period_;
+    std::map<net::NodeId, util::TimeSeries> traces_;
+    bool started_ = false;
+};
+
+}  // namespace ezflow::analysis

@@ -1,0 +1,44 @@
+#include "core/boe.h"
+
+namespace ezflow::core {
+
+BufferOccupancyEstimator::BufferOccupancyEstimator(std::size_t history) : sent_(history) {}
+
+void BufferOccupancyEstimator::on_packet_sent(std::uint16_t checksum)
+{
+    sent_.push(Entry{checksum});
+    ++sent_recorded_;
+}
+
+std::optional<int> BufferOccupancyEstimator::on_packet_overheard(std::uint16_t checksum)
+{
+    if (sent_.empty()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    const std::uint64_t oldest = sent_.oldest_seq();
+    const std::uint64_t newest = sent_.newest_seq();
+    const std::uint64_t search_from = cursor_ > oldest ? cursor_ : oldest;
+
+    // FIFO forwarding: the overheard packet should be the oldest entry not
+    // yet forwarded, so search forward from the cursor first.
+    for (std::uint64_t s = search_from; s <= newest; ++s) {
+        if (sent_.at_seq(s).checksum == checksum) {
+            cursor_ = s + 1;
+            ++matches_;
+            return static_cast<int>(newest - s);
+        }
+    }
+    // Fall back to entries behind the cursor: the successor may be
+    // retransmitting a frame we already matched (its ACK got lost).
+    for (std::uint64_t s = search_from; s-- > oldest;) {
+        if (sent_.at_seq(s).checksum == checksum) {
+            ++matches_;
+            return static_cast<int>(newest - s);
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+}  // namespace ezflow::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+#include "util/ring_buffer.h"
+
+namespace ezflow::core {
+
+/// Buffer Occupancy Estimator (Section 3.2).
+///
+/// Passively derives the buffer occupancy of the successor node, without
+/// any message passing:
+///  * every packet this node sends to the successor has its 16-bit
+///    transport checksum stored in a ring of the last `history` (paper:
+///    1000) identifiers;
+///  * every frame *overheard* from the successor (forwarding a packet to
+///    its own next hop) is matched against the ring: because the successor
+///    serves its queue FIFO, the number of identifiers between the matched
+///    entry and the most recently sent one is exactly the number of our
+///    packets still buffered at the successor.
+///
+/// The estimator is robust to missed sniffs (hidden nodes, channel
+/// variability, half-duplex deafness while transmitting): each successful
+/// match yields an exact sample, and missing samples only slows reaction.
+class BufferOccupancyEstimator {
+public:
+    explicit BufferOccupancyEstimator(std::size_t history = 1000);
+
+    /// Record a packet transmitted to the successor (first on-air attempt;
+    /// retransmissions of the same packet must not be recorded again).
+    void on_packet_sent(std::uint16_t checksum);
+
+    /// Process an overheard frame forwarded by the successor. Returns the
+    /// estimated successor buffer occupancy when the checksum matches a
+    /// remembered identifier, std::nullopt otherwise.
+    std::optional<int> on_packet_overheard(std::uint16_t checksum);
+
+    std::uint64_t sent_recorded() const { return sent_recorded_; }
+    std::uint64_t matches() const { return matches_; }
+    std::uint64_t misses() const { return misses_; }
+
+private:
+    struct Entry {
+        std::uint16_t checksum = 0;
+    };
+
+    util::RingBuffer<Entry> sent_;
+    /// Sequence number (in the ring's numbering) of the first entry not yet
+    /// known to have been forwarded by the successor: FIFO service means
+    /// matches advance this cursor monotonically. Entries behind the cursor
+    /// are still searched (retransmissions by the successor re-sniff the
+    /// same packet), but newer entries are preferred from the cursor on, so
+    /// a checksum collision behind the cursor cannot shadow fresh packets.
+    std::uint64_t cursor_ = 0;
+
+    std::uint64_t sent_recorded_ = 0;
+    std::uint64_t matches_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace ezflow::core

@@ -1,0 +1,84 @@
+#include "core/caa.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ezflow::core {
+
+namespace {
+
+bool is_power_of_two(int value) { return value > 0 && (value & (value - 1)) == 0; }
+
+}  // namespace
+
+ChannelAccessAdaptation::ChannelAccessAdaptation(CaaConfig config, CwSetter apply_cw)
+    : config_(config), apply_cw_(std::move(apply_cw)), cw_(config.initial_cw)
+{
+    if (!is_power_of_two(config.min_cw) || !is_power_of_two(config.max_cw) ||
+        !is_power_of_two(config.initial_cw))
+        throw std::invalid_argument("CAA: cw bounds must be powers of two (hardware constraint)");
+    if (config.min_cw > config.max_cw) throw std::invalid_argument("CAA: min_cw > max_cw");
+    if (config.initial_cw < config.min_cw || config.initial_cw > config.max_cw)
+        throw std::invalid_argument("CAA: initial_cw out of bounds");
+    if (config.sample_window <= 0) throw std::invalid_argument("CAA: sample_window must be > 0");
+    if (config.bmin < 0.0 || config.bmax < config.bmin)
+        throw std::invalid_argument("CAA: need 0 <= bmin <= bmax");
+    if (apply_cw_) apply_cw_(cw_);
+}
+
+int ChannelAccessAdaptation::log2_exact(int value)
+{
+    if (!is_power_of_two(value)) throw std::invalid_argument("log2_exact: not a power of two");
+    int log = 0;
+    while ((1 << log) < value) ++log;
+    return log;
+}
+
+void ChannelAccessAdaptation::on_sample(int buffer_occupancy)
+{
+    if (buffer_occupancy < 0) throw std::invalid_argument("CAA::on_sample: negative occupancy");
+    sample_sum_ += buffer_occupancy;
+    if (++samples_in_window_ < config_.sample_window) return;
+    const double average = sample_sum_ / static_cast<double>(samples_in_window_);
+    samples_in_window_ = 0;
+    sample_sum_ = 0.0;
+    decide(average);
+}
+
+void ChannelAccessAdaptation::decide(double average)
+{
+    ++decisions_;
+    const int log_cw = log2_exact(cw_);
+    if (average > config_.bmax) {
+        countdown_ = 0;
+        ++countup_;
+        if (countup_ >= log_cw) {
+            set_cw(cw_ * 2);
+            countup_ = 0;
+        }
+    } else if (average < config_.bmin) {
+        countup_ = 0;
+        ++countdown_;
+        if (countdown_ >= config_.count_base - log_cw) {
+            set_cw(cw_ / 2);
+            countdown_ = 0;
+        }
+    } else {
+        countup_ = 0;
+        countdown_ = 0;
+    }
+}
+
+void ChannelAccessAdaptation::set_cw(int cw)
+{
+    const int clamped = std::clamp(cw, config_.min_cw, config_.max_cw);
+    if (clamped == cw_) return;
+    if (clamped > cw_)
+        ++increases_;
+    else
+        ++decreases_;
+    cw_ = clamped;
+    if (apply_cw_) apply_cw_(cw_);
+}
+
+}  // namespace ezflow::core

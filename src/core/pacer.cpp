@@ -1,0 +1,124 @@
+#include "core/pacer.h"
+
+#include <stdexcept>
+
+namespace ezflow::core {
+
+PacedQueue::PacedQueue(net::Network& network, net::NodeId node, mac::QueueKey key,
+                       CaaConfig config, int capacity, util::SimTime base_interval)
+    : network_(network),
+      node_(node),
+      key_(key),
+      capacity_(capacity),
+      base_interval_(base_interval),
+      interval_(base_interval),
+      // The CAA's cw output is reinterpreted: release interval =
+      // base_interval * cw / min_cw, so Algorithm 1's doubling halves the
+      // pacing rate and vice versa.
+      caa_(config, [this](int cw) {
+          interval_ = base_interval_ * cw / caa_.config().min_cw;
+      })
+{
+    if (capacity <= 0) throw std::invalid_argument("PacedQueue: capacity must be > 0");
+    if (base_interval <= 0) throw std::invalid_argument("PacedQueue: base_interval must be > 0");
+}
+
+bool PacedQueue::push(const net::Packet& packet)
+{
+    if (static_cast<int>(queue_.size()) >= capacity_) {
+        ++dropped_;
+        return false;
+    }
+    queue_.push_back(packet);
+    schedule_release();
+    return true;
+}
+
+void PacedQueue::schedule_release()
+{
+    if (release_pending_ || queue_.empty()) return;
+    release_pending_ = true;
+    network_.scheduler().schedule_in(interval_, [this] { release_one(); });
+}
+
+void PacedQueue::release_one()
+{
+    release_pending_ = false;
+    if (queue_.empty()) return;
+    const net::Packet packet = queue_.front();
+    queue_.pop_front();
+    ++released_;
+    // Hand the packet to the MAC with the standard CWmin untouched. The
+    // MAC's own 50-packet queue should stay nearly empty: the pacing
+    // interval is the congestion control.
+    network_.node(node_).mac().enqueue(key_, packet);
+    schedule_release();
+}
+
+PacedEzFlowAgent::PacedEzFlowAgent(net::Network& network, net::NodeId node, Options options)
+    : network_(network), node_id_(node), options_(options)
+{
+    net::Node& n = network_.node(node_id_);
+    n.set_forward_interceptor(
+        [this](const mac::QueueKey& key, const net::Packet& packet) { return intercept(key, packet); });
+    n.add_first_tx_handler(
+        [this](const mac::QueueKey& key, const net::Packet& packet) { on_first_tx(key, packet); });
+    n.add_sniff_handler([this](const phy::Frame& frame) { on_sniffed(frame); });
+}
+
+PacedEzFlowAgent::SuccessorState& PacedEzFlowAgent::ensure(net::NodeId successor,
+                                                           const mac::QueueKey& key)
+{
+    auto it = successors_.find(successor);
+    if (it != successors_.end()) return *it->second;
+    auto state = std::make_unique<SuccessorState>(options_.boe_history);
+    state->queue = std::make_unique<PacedQueue>(network_, node_id_, key, options_.caa,
+                                                options_.queue_capacity, options_.base_interval);
+    successors_[successor] = std::move(state);
+    return *successors_.at(successor);
+}
+
+bool PacedEzFlowAgent::intercept(const mac::QueueKey& key, const net::Packet& packet)
+{
+    SuccessorState& state = ensure(key.next_hop, key);
+    state.queue->push(packet);  // drop accounting inside the queue
+    return true;
+}
+
+void PacedEzFlowAgent::on_first_tx(const mac::QueueKey& key, const net::Packet& packet)
+{
+    ensure(key.next_hop, key).boe.on_packet_sent(packet.checksum);
+}
+
+void PacedEzFlowAgent::on_sniffed(const phy::Frame& frame)
+{
+    if (frame.type != phy::FrameType::kData || !frame.has_packet) return;
+    const auto it = successors_.find(frame.tx_node);
+    if (it == successors_.end()) return;
+    SuccessorState& state = *it->second;
+    if (const auto estimate = state.boe.on_packet_overheard(frame.packet.checksum))
+        state.queue->on_sample(*estimate);
+}
+
+const PacedQueue* PacedEzFlowAgent::queue_toward(net::NodeId successor) const
+{
+    const auto it = successors_.find(successor);
+    return it == successors_.end() ? nullptr : it->second->queue.get();
+}
+
+std::map<net::NodeId, std::unique_ptr<PacedEzFlowAgent>> install_paced_ezflow(
+    net::Network& network, const PacedEzFlowAgent::Options& options)
+{
+    std::map<net::NodeId, std::unique_ptr<PacedEzFlowAgent>> agents;
+    for (int flow_id : network.routing().flow_ids()) {
+        const auto& path = network.routing().path(flow_id);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            const net::NodeId node = path[i];
+            if (agents.count(node) > 0) continue;
+            agents[node] = std::make_unique<PacedEzFlowAgent>(network, node, options);
+        }
+    }
+    return agents;
+}
+
+}  // namespace ezflow::core

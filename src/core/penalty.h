@@ -1,0 +1,26 @@
+#pragma once
+
+#include <map>
+
+#include "net/network.h"
+
+namespace ezflow::core {
+
+/// The static "penalty" policy of reference [9] (Aziz et al., SECON 2009),
+/// which the paper uses as the known-stable but topology-dependent
+/// comparator: sources are throttled by a fixed factor q = cw_relay /
+/// cw_source (q in (0,1]), i.e. the source's contention window is the
+/// relays' window divided by q. EZ-Flow's selling point is discovering the
+/// equivalent distribution automatically; this module exists for the
+/// ablation bench that compares the two.
+struct PenaltyConfig {
+    int relay_cw = 1 << 4;  ///< CWmin at relay nodes
+    double q = 1.0 / 8.0;   ///< throttling factor; source cw = relay_cw / q
+};
+
+/// Apply the penalty policy to every flow: the source's own-traffic queue
+/// gets relay_cw / q, every relay's forwarding queue gets relay_cw.
+/// Returns the cw assigned per node (for reporting).
+std::map<net::NodeId, int> apply_penalty_policy(net::Network& network, const PenaltyConfig& config);
+
+}  // namespace ezflow::core

@@ -1,0 +1,401 @@
+#include "mac/dcf.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ezflow::mac {
+
+DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, util::Rng rng, MacParams params)
+    : phy_(phy),
+      scheduler_(scheduler),
+      rng_(std::move(rng)),
+      params_(params),
+      queues_(params.queue_capacity, params.cw_min)
+{
+    phy_.set_listener(this);
+}
+
+bool DcfMac::enqueue(const QueueKey& key, const net::Packet& packet)
+{
+    MacQueue& queue = queues_.ensure(key);
+    const bool accepted = queue.push(packet);
+    maybe_start_work();
+    return accepted;
+}
+
+void DcfMac::set_queue_cw_min(const QueueKey& key, int cw)
+{
+    queues_.ensure(key).set_cw_min(cw);
+}
+
+int DcfMac::queue_cw_min(const QueueKey& key) const
+{
+    const MacQueue* queue = queues_.find(key);
+    if (queue == nullptr) throw std::invalid_argument("DcfMac::queue_cw_min: unknown queue");
+    return queue->cw_min();
+}
+
+void DcfMac::maybe_start_work()
+{
+    if (state_ != State::kIdle) return;
+    if (ack_tx_scheduled_) return;  // finish the ACK exchange first
+    if (queues_.all_empty()) return;
+    start_new_contention();
+}
+
+void DcfMac::start_new_contention()
+{
+    current_queue_ = queues_.next_nonempty();
+    if (current_queue_ == nullptr) throw std::logic_error("DcfMac: no work to contend for");
+    in_contention_ = true;
+    retries_ = 0;
+    current_seq_ = next_seq_++;
+    backoff_remaining_ = rng_.uniform_int(0, effective_cw() - 1);
+    resume_access();
+}
+
+int DcfMac::effective_cw() const
+{
+    if (current_queue_ == nullptr) throw std::logic_error("DcfMac::effective_cw: no queue");
+    const int base = current_queue_->cw_min();
+    const int cap = std::max(params_.cw_max_escalation, base);
+    // Escalate binary-exponentially; guard against shift overflow.
+    long long cw = base;
+    for (int i = 0; i < retries_ && cw < cap; ++i) cw *= 2;
+    return static_cast<int>(std::min<long long>(cw, cap));
+}
+
+bool DcfMac::medium_busy() const
+{
+    return phy_.busy() || scheduler_.now() < nav_until_;
+}
+
+void DcfMac::resume_access()
+{
+    if (!in_contention_) throw std::logic_error("DcfMac::resume_access: no contention context");
+    if (medium_busy()) {
+        state_ = State::kWaitMediumIdle;
+        return;
+    }
+    start_difs();
+}
+
+void DcfMac::start_difs()
+{
+    state_ = State::kWaitDifs;
+    // EIFS replaces DIFS when the last sensed busy period could not be
+    // decoded: the station must leave room for an exchange (ACK) it may
+    // have jammed or missed.
+    const SimTime wait = phy_.last_rx_error() ? params_.eifs_us : params_.difs_us;
+    difs_event_ = scheduler_.schedule_in(wait, [this] { on_difs_elapsed(); });
+}
+
+void DcfMac::set_nav_for_ack()
+{
+    const phy::PhyParams& phy_params = phy_.channel_params();
+    phy::Frame ack;
+    ack.type = phy::FrameType::kAck;
+    set_nav_until(scheduler_.now() + params_.sifs_us + phy_params.tx_duration(ack));
+}
+
+void DcfMac::set_nav_until(SimTime until)
+{
+    if (until <= nav_until_ || until <= scheduler_.now()) return;
+    nav_until_ = until;
+    if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+        cancel_contention_timers();
+        state_ = State::kWaitMediumIdle;
+    }
+    scheduler_.schedule_at(nav_until_, [this] { on_nav_expired(); });
+}
+
+void DcfMac::on_nav_expired()
+{
+    if (scheduler_.now() < nav_until_) return;  // NAV was extended meanwhile
+    if (state_ == State::kWaitMediumIdle && in_contention_ && !ack_tx_scheduled_ && !medium_busy())
+        start_difs();
+}
+
+void DcfMac::cancel_contention_timers()
+{
+    scheduler_.cancel(difs_event_);
+    scheduler_.cancel(slot_event_);
+    difs_event_ = {};
+    slot_event_ = {};
+}
+
+void DcfMac::on_difs_elapsed()
+{
+    difs_event_ = {};
+    state_ = State::kBackoff;
+    on_backoff_slot();
+}
+
+void DcfMac::on_backoff_slot()
+{
+    slot_event_ = {};
+    if (backoff_remaining_ == 0) {
+        start_exchange();
+        return;
+    }
+    --backoff_remaining_;
+    slot_event_ = scheduler_.schedule_in(params_.slot_us, [this] { on_backoff_slot(); });
+}
+
+SimTime DcfMac::current_data_airtime() const
+{
+    phy::Frame data;
+    data.type = phy::FrameType::kData;
+    data.has_packet = true;
+    data.packet = current_queue_->front();
+    return phy_.channel_params().tx_duration(data);
+}
+
+void DcfMac::start_exchange()
+{
+    if (params_.rts_cts_enabled && current_queue_->front().bytes >= params_.rts_threshold_bytes) {
+        transmit_rts();
+        return;
+    }
+    transmit_data();
+}
+
+void DcfMac::transmit_rts()
+{
+    state_ = State::kTxRts;
+    const phy::PhyParams& phy_params = phy_.channel_params();
+    phy::Frame cts;
+    cts.type = phy::FrameType::kCts;
+    phy::Frame ack;
+    ack.type = phy::FrameType::kAck;
+    phy::Frame rts;
+    rts.type = phy::FrameType::kRts;
+    rts.tx_node = phy_.id();
+    rts.rx_node = current_queue_->key().next_hop;
+    rts.mac_seq = current_seq_;
+    rts.retry = retries_;
+    // Duration: the rest of the exchange after the RTS ends.
+    rts.duration_us = 3 * params_.sifs_us + phy_params.tx_duration(cts) + current_data_airtime() +
+                      phy_params.tx_duration(ack);
+    phy_.start_tx(rts);
+}
+
+void DcfMac::transmit_data()
+{
+    state_ = State::kTxData;
+    if (retries_ == 0) {
+        net::Packet& head = current_queue_->mutable_front();
+        if (head.first_tx_at < 0) head.first_tx_at = scheduler_.now();
+    }
+    phy::Frame frame;
+    frame.type = phy::FrameType::kData;
+    frame.tx_node = phy_.id();
+    frame.rx_node = current_queue_->key().next_hop;
+    frame.mac_seq = current_seq_;
+    frame.retry = retries_;
+    frame.has_packet = true;
+    frame.packet = current_queue_->front();
+    ++data_attempts_;
+    if (retries_ > 0) ++retransmissions_;
+    if (retries_ == 0 && callbacks_ != nullptr)
+        callbacks_->mac_first_tx(current_queue_->key(), frame.packet);
+    phy_.start_tx(frame);
+}
+
+void DcfMac::phy_tx_done(const phy::Frame& frame)
+{
+    if (frame.type == phy::FrameType::kAck || frame.type == phy::FrameType::kCts) {
+        if (frame.type == phy::FrameType::kAck) ++acks_sent_;
+        ack_tx_scheduled_ = false;
+        if (!pending_ctrl_.empty()) {
+            schedule_control_if_needed();
+            return;
+        }
+        // Resume whatever the contention machine was doing.
+        if (in_contention_) {
+            resume_access();
+        } else {
+            state_ = State::kIdle;
+            maybe_start_work();
+        }
+        return;
+    }
+    const phy::PhyParams& phy_params = phy_.channel_params();
+    if (frame.type == phy::FrameType::kRts) {
+        // RTS sent: await the CTS.
+        state_ = State::kWaitCts;
+        phy::Frame cts;
+        cts.type = phy::FrameType::kCts;
+        cts_timeout_event_ = scheduler_.schedule_in(
+            params_.sifs_us + phy_params.tx_duration(cts) + params_.ack_timeout_slack_us,
+            [this] { on_cts_timeout(); });
+        return;
+    }
+    // Data frame sent: await the ACK.
+    state_ = State::kWaitAck;
+    phy::Frame ack;
+    ack.type = phy::FrameType::kAck;
+    const SimTime ack_air = phy_params.tx_duration(ack);
+    ack_timeout_event_ = scheduler_.schedule_in(
+        params_.sifs_us + ack_air + params_.ack_timeout_slack_us, [this] { on_ack_timeout(); });
+}
+
+void DcfMac::phy_frame_decoded(const phy::Frame& frame)
+{
+    if (frame.rx_node != phy_.id()) {
+        // Virtual carrier sense. A decoded foreign data frame announces
+        // its ACK exchange; foreign RTS/CTS frames carry the remaining
+        // exchange duration explicitly.
+        if (frame.type == phy::FrameType::kData) {
+            set_nav_for_ack();
+        } else if (frame.type == phy::FrameType::kRts || frame.type == phy::FrameType::kCts) {
+            set_nav_until(scheduler_.now() + frame.duration_us);
+        }
+        if (callbacks_ != nullptr) callbacks_->mac_sniffed(frame);
+        return;
+    }
+    switch (frame.type) {
+        case phy::FrameType::kAck:
+            if (state_ == State::kWaitAck && frame.mac_seq == current_seq_ &&
+                frame.tx_node == current_queue_->key().next_hop) {
+                scheduler_.cancel(ack_timeout_event_);
+                ack_timeout_event_ = {};
+                finish_current(/*success=*/true);
+            }
+            return;
+        case phy::FrameType::kCts:
+            if (state_ == State::kWaitCts && frame.mac_seq == current_seq_ &&
+                frame.tx_node == current_queue_->key().next_hop) {
+                scheduler_.cancel(cts_timeout_event_);
+                cts_timeout_event_ = {};
+                // Data follows the CTS after SIFS, without re-contending.
+                scheduler_.schedule_in(params_.sifs_us, [this] {
+                    if (state_ == State::kWaitCts && !phy_.transmitting()) transmit_data();
+                });
+            }
+            return;
+        case phy::FrameType::kRts: {
+            // Answer with a CTS advertising the rest of the exchange.
+            const phy::PhyParams& phy_params = phy_.channel_params();
+            phy::Frame cts;
+            cts.type = phy::FrameType::kCts;
+            const SimTime remaining =
+                frame.duration_us - params_.sifs_us - phy_params.tx_duration(cts);
+            pending_ctrl_.push_back(
+                PendingControl{phy::FrameType::kCts, frame.tx_node, frame.mac_seq,
+                               std::max<SimTime>(0, remaining)});
+            schedule_control_if_needed();
+            return;
+        }
+        case phy::FrameType::kData: {
+            // Always acknowledge; deliver unless duplicate.
+            pending_ctrl_.push_back(
+                PendingControl{phy::FrameType::kAck, frame.tx_node, frame.mac_seq, 0});
+            schedule_control_if_needed();
+            const auto it = last_rx_seq_.find(frame.tx_node);
+            const bool duplicate =
+                frame.retry > 0 && it != last_rx_seq_.end() && it->second == frame.mac_seq;
+            last_rx_seq_[frame.tx_node] = frame.mac_seq;
+            if (!duplicate && callbacks_ != nullptr) callbacks_->mac_rx(frame);
+            return;
+        }
+    }
+}
+
+void DcfMac::schedule_control_if_needed()
+{
+    if (ack_tx_scheduled_ || pending_ctrl_.empty()) return;
+    ack_tx_scheduled_ = true;
+    // Control responses have SIFS priority: suspend contention timers.
+    if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+        cancel_contention_timers();
+        state_ = State::kWaitMediumIdle;  // re-entered after the response
+    }
+    scheduler_.schedule_in(params_.sifs_us, [this] { send_pending_control(); });
+}
+
+void DcfMac::send_pending_control()
+{
+    if (pending_ctrl_.empty()) throw std::logic_error("DcfMac::send_pending_control: none pending");
+    if (phy_.transmitting()) {
+        // Extremely rare: our own transmission started in the SIFS
+        // window. Retry shortly after.
+        scheduler_.schedule_in(params_.slot_us, [this] { send_pending_control(); });
+        return;
+    }
+    const PendingControl ctrl = pending_ctrl_.front();
+    pending_ctrl_.pop_front();
+    phy::Frame frame;
+    frame.type = ctrl.type;
+    frame.tx_node = phy_.id();
+    frame.rx_node = ctrl.to;
+    frame.mac_seq = ctrl.seq;
+    frame.duration_us = ctrl.duration_us;
+    frame.has_packet = false;
+    phy_.start_tx(frame);
+}
+
+void DcfMac::on_ack_timeout()
+{
+    ack_timeout_event_ = {};
+    if (state_ != State::kWaitAck) throw std::logic_error("DcfMac::on_ack_timeout: bad state");
+    ++retries_;
+    if (retries_ > params_.retry_limit) {
+        ++retry_drops_;
+        finish_current(/*success=*/false);
+        return;
+    }
+    // Redraw the backoff from the escalated window and re-contend.
+    backoff_remaining_ = rng_.uniform_int(0, effective_cw() - 1);
+    resume_access();
+}
+
+void DcfMac::on_cts_timeout()
+{
+    cts_timeout_event_ = {};
+    if (state_ != State::kWaitCts) throw std::logic_error("DcfMac::on_cts_timeout: bad state");
+    ++retries_;
+    if (retries_ > params_.retry_limit) {
+        ++retry_drops_;
+        finish_current(/*success=*/false);
+        return;
+    }
+    backoff_remaining_ = rng_.uniform_int(0, effective_cw() - 1);
+    resume_access();
+}
+
+void DcfMac::finish_current(bool success)
+{
+    const QueueKey key = current_queue_->key();
+    const net::Packet packet = current_queue_->front();
+    current_queue_->pop();
+    in_contention_ = false;
+    current_queue_ = nullptr;
+    retries_ = 0;
+    state_ = State::kIdle;
+    if (success) {
+        ++successes_;
+        if (callbacks_ != nullptr) callbacks_->mac_tx_success(key, packet);
+    } else {
+        if (callbacks_ != nullptr) callbacks_->mac_tx_drop(key, packet);
+    }
+    maybe_start_work();
+}
+
+void DcfMac::phy_busy_changed(bool busy)
+{
+    if (busy) {
+        if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+            cancel_contention_timers();
+            state_ = State::kWaitMediumIdle;
+        }
+        return;
+    }
+    // Physical carrier became idle; the NAV may still hold us back (its
+    // expiry event re-checks).
+    if (state_ == State::kWaitMediumIdle && in_contention_ && !ack_tx_scheduled_ && !medium_busy()) {
+        start_difs();
+    }
+}
+
+}  // namespace ezflow::mac

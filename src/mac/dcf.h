@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "mac/mac_params.h"
+#include "mac/mac_queue.h"
+#include "phy/phy.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace ezflow::mac {
+
+using util::SimTime;
+
+/// Upper-layer callbacks of the MAC. The forwarding plane and EZ-Flow's
+/// BOE both hang off these hooks.
+class MacCallbacks {
+public:
+    virtual ~MacCallbacks() = default;
+    /// A data frame addressed to this node was received (after ACK and
+    /// duplicate filtering).
+    virtual void mac_rx(const phy::Frame& frame) = 0;
+    /// A decoded frame not addressed to this node (promiscuous tap —
+    /// the raw-socket/monitor-mode capture EZ-Flow's BOE relies on).
+    virtual void mac_sniffed(const phy::Frame& frame) = 0;
+    /// The first on-air transmission attempt of a packet (BOE stores the
+    /// checksum at this moment: the packet was truly sent at the PHY).
+    virtual void mac_first_tx(const QueueKey& key, const net::Packet& packet) = 0;
+    /// A data frame was acknowledged by the next hop.
+    virtual void mac_tx_success(const QueueKey& key, const net::Packet& packet) = 0;
+    /// A data frame was abandoned after the retry limit.
+    virtual void mac_tx_drop(const QueueKey& key, const net::Packet& packet) = 0;
+};
+
+/// IEEE 802.11 DCF (basic access, no RTS/CTS) over one NodePhy.
+///
+/// Contention rule, matching the paper's description: every transmission
+/// draws a fresh backoff uniformly from [0, cw-1]; the counter decrements
+/// once per idle slot after a DIFS of idle medium, freezes while the medium
+/// is busy, and resumes (same remaining count) after the next idle DIFS.
+/// Retransmissions escalate cw binary-exponentially from the queue's CWmin
+/// (the parameter EZ-Flow adapts) up to max(cw_max_escalation, CWmin).
+class DcfMac final : public phy::PhyListener {
+public:
+    DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, util::Rng rng, MacParams params);
+    DcfMac(const DcfMac&) = delete;
+    DcfMac& operator=(const DcfMac&) = delete;
+
+    void set_callbacks(MacCallbacks* callbacks) { callbacks_ = callbacks; }
+
+    /// Enqueue a packet toward `key.next_hop`. Returns false when the
+    /// interface queue was full and the packet was dropped.
+    bool enqueue(const QueueKey& key, const net::Packet& packet);
+
+    /// Per-queue CWmin control (EZ-Flow's single knob). Creates the queue
+    /// if it does not exist yet.
+    void set_queue_cw_min(const QueueKey& key, int cw);
+    int queue_cw_min(const QueueKey& key) const;
+
+    MacQueueSet& queues() { return queues_; }
+    const MacQueueSet& queues() const { return queues_; }
+    const MacParams& params() const { return params_; }
+
+    // --- PhyListener ---
+    void phy_busy_changed(bool busy) override;
+    void phy_frame_decoded(const phy::Frame& frame) override;
+    void phy_tx_done(const phy::Frame& frame) override;
+
+    // --- statistics ---
+    std::uint64_t data_attempts() const { return data_attempts_; }
+    std::uint64_t retransmissions() const { return retransmissions_; }
+    std::uint64_t retry_drops() const { return retry_drops_; }
+    std::uint64_t acks_sent() const { return acks_sent_; }
+    std::uint64_t successes() const { return successes_; }
+
+    /// Virtual carrier sense deadline (NAV). Exposed for tests.
+    SimTime nav_until() const { return nav_until_; }
+
+private:
+    enum class State {
+        kIdle,
+        kWaitMediumIdle,
+        kWaitDifs,
+        kBackoff,
+        kTxRts,
+        kWaitCts,
+        kTxData,
+        kWaitAck,
+    };
+
+    /// Commit to the head packet of the next round-robin queue and draw a
+    /// fresh backoff from its (possibly escalated) contention window.
+    void start_new_contention();
+    /// Enter the access procedure keeping the current backoff counter.
+    void resume_access();
+    void start_difs();
+    void cancel_contention_timers();
+    /// Physical or virtual (NAV) carrier indicates a busy medium.
+    bool medium_busy() const;
+    /// Extend the NAV to cover a sniffed data frame's ACK exchange.
+    void set_nav_for_ack();
+    /// Extend the NAV to an absolute deadline (RTS/CTS Duration fields).
+    void set_nav_until(SimTime until);
+    void on_nav_expired();
+    void on_difs_elapsed();
+    void on_backoff_slot();
+    /// Start the frame exchange for the committed packet: either the data
+    /// frame directly (basic access) or the RTS when the handshake is on.
+    void start_exchange();
+    void transmit_rts();
+    void transmit_data();
+    void on_ack_timeout();
+    void on_cts_timeout();
+    void finish_current(bool success);
+    int effective_cw() const;
+    void maybe_start_work();
+    /// Airtime of the committed packet's data frame.
+    SimTime current_data_airtime() const;
+    void schedule_control_if_needed();
+    void send_pending_control();
+
+    phy::NodePhy& phy_;
+    sim::Scheduler& scheduler_;
+    util::Rng rng_;
+    MacParams params_;
+    MacCallbacks* callbacks_ = nullptr;
+
+    MacQueueSet queues_;
+    State state_ = State::kIdle;
+
+    // Current contention context (valid when in_contention_).
+    bool in_contention_ = false;
+    MacQueue* current_queue_ = nullptr;
+    int retries_ = 0;
+    int backoff_remaining_ = 0;
+    std::uint32_t current_seq_ = 0;
+
+    sim::EventId difs_event_{};
+    sim::EventId slot_event_{};
+    sim::EventId ack_timeout_event_{};
+    sim::EventId cts_timeout_event_{};
+
+    // SIFS-spaced control responses (ACK / CTS), out-of-band wrt
+    // contention.
+    struct PendingControl {
+        phy::FrameType type;
+        net::NodeId to;
+        std::uint32_t seq;
+        SimTime duration_us;  ///< NAV to advertise (CTS)
+    };
+    std::deque<PendingControl> pending_ctrl_;
+    bool ack_tx_scheduled_ = false;  ///< SIFS timer armed or control frame on air
+
+    std::uint32_t next_seq_ = 1;
+    std::map<net::NodeId, std::uint32_t> last_rx_seq_;  ///< duplicate filter
+    SimTime nav_until_ = 0;  ///< virtual carrier sense (Duration field)
+
+    std::uint64_t data_attempts_ = 0;
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t retry_drops_ = 0;
+    std::uint64_t acks_sent_ = 0;
+    std::uint64_t successes_ = 0;
+};
+
+}  // namespace ezflow::mac

@@ -1,0 +1,97 @@
+#include "mac/mac_queue.h"
+
+#include <stdexcept>
+
+namespace ezflow::mac {
+
+MacQueue::MacQueue(QueueKey key, int capacity, int cw_min)
+    : key_(key), capacity_(capacity), cw_min_(cw_min)
+{
+    if (capacity <= 0) throw std::invalid_argument("MacQueue: capacity must be > 0");
+    if (cw_min <= 0) throw std::invalid_argument("MacQueue: cw_min must be > 0");
+}
+
+bool MacQueue::push(const net::Packet& packet)
+{
+    if (static_cast<int>(packets_.size()) >= capacity_) {
+        ++dropped_full_;
+        return false;
+    }
+    packets_.push_back(packet);
+    ++enqueued_;
+    return true;
+}
+
+const net::Packet& MacQueue::front() const
+{
+    if (packets_.empty()) throw std::logic_error("MacQueue::front: empty");
+    return packets_.front();
+}
+
+net::Packet& MacQueue::mutable_front()
+{
+    if (packets_.empty()) throw std::logic_error("MacQueue::mutable_front: empty");
+    return packets_.front();
+}
+
+void MacQueue::pop()
+{
+    if (packets_.empty()) throw std::logic_error("MacQueue::pop: empty");
+    packets_.pop_front();
+    ++dequeued_;
+}
+
+void MacQueue::set_cw_min(int cw)
+{
+    if (cw <= 0) throw std::invalid_argument("MacQueue::set_cw_min: cw must be > 0");
+    cw_min_ = cw;
+}
+
+MacQueueSet::MacQueueSet(int capacity, int default_cw_min)
+    : capacity_(capacity), default_cw_min_(default_cw_min)
+{
+}
+
+MacQueue& MacQueueSet::ensure(const QueueKey& key)
+{
+    if (MacQueue* q = find(key)) return *q;
+    queues_.push_back(std::make_unique<MacQueue>(key, capacity_, default_cw_min_));
+    return *queues_.back();
+}
+
+MacQueue* MacQueueSet::find(const QueueKey& key)
+{
+    for (auto& q : queues_)
+        if (q->key() == key) return q.get();
+    return nullptr;
+}
+
+const MacQueue* MacQueueSet::find(const QueueKey& key) const
+{
+    for (const auto& q : queues_)
+        if (q->key() == key) return q.get();
+    return nullptr;
+}
+
+MacQueue* MacQueueSet::next_nonempty()
+{
+    if (queues_.empty()) return nullptr;
+    const std::size_t n = queues_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        MacQueue* q = queues_[(rr_cursor_ + i) % n].get();
+        if (!q->empty()) {
+            rr_cursor_ = (rr_cursor_ + i + 1) % n;
+            return q;
+        }
+    }
+    return nullptr;
+}
+
+int MacQueueSet::total_packets() const
+{
+    int total = 0;
+    for (const auto& q : queues_) total += q->size();
+    return total;
+}
+
+}  // namespace ezflow::mac

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ezflow::mac {
+
+/// Identifies one MAC interface queue. The paper requires a node to keep
+/// one queue per successor, and nodes that are both source and relay to
+/// keep the locally generated traffic separate from forwarded traffic so
+/// that forwarded packets are never starved (Section 3.1).
+struct QueueKey {
+    net::NodeId next_hop = -1;
+    bool own_traffic = false;
+
+    auto operator<=>(const QueueKey&) const = default;
+};
+
+/// One DropTail FIFO interface queue with its own CWmin — the single
+/// IEEE 802.11 parameter EZ-Flow manipulates.
+class MacQueue {
+public:
+    MacQueue(QueueKey key, int capacity, int cw_min);
+
+    const QueueKey& key() const { return key_; }
+
+    /// Returns false (and counts a drop) when the queue is full.
+    bool push(const net::Packet& packet);
+    const net::Packet& front() const;
+    /// Mutable head access (the MAC stamps first-transmission times).
+    net::Packet& mutable_front();
+    void pop();
+
+    int size() const { return static_cast<int>(packets_.size()); }
+    bool empty() const { return packets_.empty(); }
+    int capacity() const { return capacity_; }
+
+    int cw_min() const { return cw_min_; }
+    void set_cw_min(int cw);
+
+    // Statistics.
+    std::uint64_t enqueued() const { return enqueued_; }
+    std::uint64_t dropped_full() const { return dropped_full_; }
+    std::uint64_t dequeued() const { return dequeued_; }
+
+private:
+    QueueKey key_;
+    int capacity_;
+    int cw_min_;
+    std::deque<net::Packet> packets_;
+    std::uint64_t enqueued_ = 0;
+    std::uint64_t dropped_full_ = 0;
+    std::uint64_t dequeued_ = 0;
+};
+
+/// The set of interface queues at one node, served round-robin so no
+/// successor (and no traffic class) is starved by the MAC itself.
+class MacQueueSet {
+public:
+    MacQueueSet(int capacity, int default_cw_min);
+
+    /// Get or create the queue for `key`.
+    MacQueue& ensure(const QueueKey& key);
+    /// Lookup; nullptr when absent.
+    MacQueue* find(const QueueKey& key);
+    const MacQueue* find(const QueueKey& key) const;
+
+    /// Next non-empty queue in round-robin order, advancing the cursor.
+    /// nullptr when all queues are empty.
+    MacQueue* next_nonempty();
+
+    int total_packets() const;
+    bool all_empty() const { return total_packets() == 0; }
+
+    const std::vector<std::unique_ptr<MacQueue>>& queues() const { return queues_; }
+
+private:
+    int capacity_;
+    int default_cw_min_;
+    std::vector<std::unique_ptr<MacQueue>> queues_;
+    std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace ezflow::mac

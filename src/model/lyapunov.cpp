@@ -1,0 +1,53 @@
+#include "model/lyapunov.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ezflow::model {
+
+LyapunovEstimator::LyapunovEstimator(RandomWalkModel::Config config, std::vector<long long> cw,
+                                     util::Rng rng)
+    : config_(std::move(config)), cw_(std::move(cw)), rng_(std::move(rng))
+{
+}
+
+int LyapunovEstimator::paper_horizon(int region)
+{
+    switch (region) {
+        case kRegionF:
+        case kRegionH: return 1;
+        case kRegionD:
+        case kRegionE: return 2;
+        case kRegionG: return 3;
+        case kRegionC: return 4;
+        case kRegionB: return 25;
+        default: throw std::invalid_argument("paper_horizon: region A is inside S");
+    }
+}
+
+LyapunovEstimator::Drift LyapunovEstimator::estimate(const BufferVector& relays, int horizon,
+                                                     int samples)
+{
+    if (horizon <= 0) throw std::invalid_argument("LyapunovEstimator: horizon must be > 0");
+    if (samples <= 0) throw std::invalid_argument("LyapunovEstimator: samples must be > 0");
+
+    util::RunningStats drift;
+    for (int s = 0; s < samples; ++s) {
+        RandomWalkModel walk(config_, rng_.fork());
+        walk.set_relays(relays);
+        walk.set_cw(cw_);
+        const long long before = walk.total_backlog();
+        for (int k = 0; k < horizon; ++k) walk.step();
+        drift.add(static_cast<double>(walk.total_backlog() - before));
+    }
+
+    Drift result;
+    result.region = region_index(relays);
+    result.horizon = horizon;
+    result.mean_drift = drift.mean();
+    result.stderr_drift = drift.stddev() / std::sqrt(static_cast<double>(drift.count()));
+    result.samples = samples;
+    return result;
+}
+
+}  // namespace ezflow::model

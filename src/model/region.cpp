@@ -1,0 +1,31 @@
+#include "model/region.h"
+
+#include <stdexcept>
+
+namespace ezflow::model {
+
+int region_index(const BufferVector& relays)
+{
+    if (relays.empty()) throw std::invalid_argument("region_index: empty state");
+    int index = 0;
+    for (std::size_t i = 0; i < relays.size(); ++i) {
+        if (relays[i] < 0) throw std::invalid_argument("region_index: negative buffer");
+        if (relays[i] > 0) index |= 1 << i;
+    }
+    return index;
+}
+
+std::string region_name(int index, int relay_count)
+{
+    if (relay_count < 1 || index < 0 || index >= (1 << relay_count))
+        throw std::invalid_argument("region_name: bad index");
+    if (relay_count == 3) {
+        static const char* kNames[8] = {"A", "B", "C", "E", "D", "F", "G", "H"};
+        return kNames[index];
+    }
+    std::string bits;
+    for (int i = 0; i < relay_count; ++i) bits += (index & (1 << i)) ? '1' : '0';
+    return bits;
+}
+
+}  // namespace ezflow::model

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ezflow::model {
+
+/// State of the Section 6 slotted model for a K-hop flow: the buffer
+/// occupancies of the K-1 relays (the source is saturated, b0 = infinity;
+/// the destination drains instantly).
+using BufferVector = std::vector<long long>;
+
+/// Region index of the positive orthant partition: bit i set means relay
+/// i+1 has a non-empty buffer. For K = 4 this is the paper's A..H lettering
+/// of Fig. 12 with A=000, B=100 (b1>0), C=010 (b2>0), D=001 (b3>0),
+/// E=110, F=101, G=011, H=111.
+int region_index(const BufferVector& relays);
+
+/// Letter name for a region of the 4-hop model (indices 0..7 -> "A".."H").
+/// Also accepts general K: returns the bitmask rendered as e.g. "101".
+std::string region_name(int index, int relay_count);
+
+/// The 4-hop mapping between letters and indices, for tests and tables.
+inline constexpr int kRegionA = 0;  // b1=0, b2=0, b3=0
+inline constexpr int kRegionB = 1;  // b1>0
+inline constexpr int kRegionC = 2;  // b2>0
+inline constexpr int kRegionD = 4;  // b3>0
+inline constexpr int kRegionE = 3;  // b1>0, b2>0
+inline constexpr int kRegionF = 5;  // b1>0, b3>0
+inline constexpr int kRegionG = 6;  // b2>0, b3>0
+inline constexpr int kRegionH = 7;  // all non-empty
+
+}  // namespace ezflow::model

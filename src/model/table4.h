@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+namespace ezflow::model {
+
+/// One successful-transmission pattern of the 4-hop model: entry i is 1
+/// when link i (node i -> node i+1) completes a successful transmission in
+/// the slot.
+struct Pattern {
+    std::vector<int> z;
+    double probability;
+};
+
+/// Closed-form distribution of transmission patterns for each region of
+/// the 4-hop model, as a function of the contention windows cw0..cw3 —
+/// the content of Table 4 of the paper.
+///
+/// The distribution is derived from the generative rule set (races won
+/// with probability proportional to 1/cw, carrier-sense freezing of 1-hop
+/// neighbours, recursive sub-races among hidden contenders, and a link
+/// succeeding iff no other transmitter sits within one hop of its
+/// receiver); the unit tests verify the expressions match the table's
+/// entries symbolically and the Monte-Carlo sampler numerically.
+///
+/// `region` is the bitmask index (see region.h); `cw` must hold 4 positive
+/// values. Patterns with zero probability are omitted; probabilities sum
+/// to 1.
+std::vector<Pattern> table4_distribution(int region, const std::vector<double>& cw);
+
+}  // namespace ezflow::model

@@ -1,0 +1,47 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace ezflow::net {
+
+Network::Network(Config config)
+    : config_(config),
+      rng_(config.seed),
+      channel_(scheduler_, util::Rng(config.seed ^ 0xC0FFEEULL).fork(), config.phy)
+{
+}
+
+NodeId Network::add_node(phy::Position position)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(id, position, scheduler_, rng_.fork(), config_.mac, routing_));
+    channel_.attach(nodes_.back()->phy());
+    return id;
+}
+
+void Network::add_flow(int flow_id, std::vector<NodeId> path)
+{
+    for (NodeId n : path) {
+        if (n < 0 || n >= node_count()) throw std::invalid_argument("Network::add_flow: unknown node");
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const double d = phy::distance(node(path[i]).phy().position(), node(path[i + 1]).phy().position());
+        if (d > config_.phy.tx_range_m)
+            throw std::invalid_argument("Network::add_flow: consecutive hops out of delivery range");
+    }
+    routing_.add_flow(flow_id, std::move(path));
+}
+
+Node& Network::node(NodeId id)
+{
+    if (id < 0 || id >= node_count()) throw std::out_of_range("Network::node: bad id");
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Network::node(NodeId id) const
+{
+    if (id < 0 || id >= node_count()) throw std::out_of_range("Network::node: bad id");
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ezflow::net

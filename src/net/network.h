@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mac/mac_params.h"
+#include "net/node.h"
+#include "net/routing.h"
+#include "phy/channel.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace ezflow::net {
+
+/// Everything a simulation needs, wired together: scheduler, channel,
+/// nodes, routing. Owns all components; nodes are addressed by dense ids
+/// in creation order.
+class Network {
+public:
+    struct Config {
+        phy::PhyParams phy;
+        mac::MacParams mac;
+        std::uint64_t seed = 1;
+    };
+
+    explicit Network(Config config);
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    /// Create a node at `position`; returns its id (dense, from 0).
+    NodeId add_node(phy::Position position);
+
+    /// Register a static flow path. All nodes must already exist and
+    /// consecutive path nodes must be within delivery range.
+    void add_flow(int flow_id, std::vector<NodeId> path);
+
+    Node& node(NodeId id);
+    const Node& node(NodeId id) const;
+    int node_count() const { return static_cast<int>(nodes_.size()); }
+
+    sim::Scheduler& scheduler() { return scheduler_; }
+    phy::Channel& channel() { return channel_; }
+    StaticRouting& routing() { return routing_; }
+    const StaticRouting& routing() const { return routing_; }
+    const Config& config() const { return config_; }
+
+    /// Fork an independent RNG stream from the network's root seed
+    /// (for traffic sources, agents, etc.).
+    util::Rng fork_rng() { return rng_.fork(); }
+
+    /// Advance simulated time.
+    void run_until(util::SimTime t) { scheduler_.run_until(t); }
+    util::SimTime now() const { return scheduler_.now(); }
+
+private:
+    Config config_;
+    sim::Scheduler scheduler_;
+    util::Rng rng_;
+    phy::Channel channel_;
+    StaticRouting routing_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace ezflow::net

@@ -1,0 +1,75 @@
+#include "net/node.h"
+
+#include <stdexcept>
+
+namespace ezflow::net {
+
+Node::Node(NodeId id, phy::Position position, sim::Scheduler& scheduler, util::Rng rng,
+           const mac::MacParams& mac_params, const StaticRouting& routing)
+    : id_(id),
+      phy_(id, position, scheduler),
+      mac_(phy_, scheduler, std::move(rng), mac_params),
+      routing_(routing)
+{
+    mac_.set_callbacks(this);
+}
+
+void Node::set_forward_interceptor(ForwardInterceptor interceptor)
+{
+    if (interceptor_ && interceptor)
+        throw std::logic_error("Node::set_forward_interceptor: already installed");
+    interceptor_ = std::move(interceptor);
+}
+
+bool Node::send(const Packet& packet)
+{
+    const NodeId next = routing_.next_hop(packet.flow_id, id_);
+    const mac::QueueKey key{next, /*own_traffic=*/true};
+    if (interceptor_ && interceptor_(key, packet)) return true;
+    const bool accepted = mac_.enqueue(key, packet);
+    if (!accepted) ++source_queue_drops_;
+    return accepted;
+}
+
+void Node::mac_rx(const phy::Frame& frame)
+{
+    if (!frame.has_packet) throw std::logic_error("Node::mac_rx: data frame without packet");
+    const Packet& packet = frame.packet;
+    if (packet.dst == id_) {
+        ++delivered_;
+        for (const auto& handler : delivery_) handler(packet);
+        return;
+    }
+    if (!routing_.has_next_hop(packet.flow_id, id_)) {
+        // Mis-routed packet (should not happen with static routing).
+        throw std::logic_error("Node::mac_rx: no route for forwarded packet");
+    }
+    const NodeId next = routing_.next_hop(packet.flow_id, id_);
+    ++forwarded_;
+    const mac::QueueKey key{next, /*own_traffic=*/false};
+    if (interceptor_ && interceptor_(key, packet)) return;
+    if (!mac_.enqueue(key, packet)) ++forward_queue_drops_;
+}
+
+void Node::mac_sniffed(const phy::Frame& frame)
+{
+    for (const auto& handler : sniffers_) handler(frame);
+}
+
+void Node::mac_first_tx(const mac::QueueKey& key, const Packet& packet)
+{
+    for (const auto& handler : first_tx_) handler(key, packet);
+}
+
+void Node::mac_tx_success(const mac::QueueKey& key, const Packet& packet)
+{
+    for (const auto& handler : tx_success_) handler(key, packet);
+}
+
+void Node::mac_tx_drop(const mac::QueueKey& key, const Packet& packet)
+{
+    (void)key;
+    (void)packet;
+}
+
+}  // namespace ezflow::net

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mac/dcf.h"
+#include "net/packet.h"
+#include "net/routing.h"
+#include "phy/phy.h"
+
+namespace ezflow::net {
+
+/// A mesh node: one radio (PHY + DCF MAC) plus the forwarding plane.
+///
+/// Received data packets addressed to this node are either delivered to the
+/// local sink (end of path) or re-enqueued toward the flow's next hop, in
+/// the per-successor forwarding queue the paper prescribes. Locally
+/// generated traffic uses a separate "own traffic" queue so forwarded
+/// packets are never starved by the source role (Section 3.1).
+class Node final : public mac::MacCallbacks {
+public:
+    using DeliveryHandler = std::function<void(const Packet&)>;
+    using SniffHandler = std::function<void(const phy::Frame&)>;
+    using FirstTxHandler = std::function<void(const mac::QueueKey&, const Packet&)>;
+    using TxEventHandler = std::function<void(const mac::QueueKey&, const Packet&)>;
+    /// Returns true when it consumed the packet (e.g. a routing-layer
+    /// pacing queue took it instead of the MAC).
+    using ForwardInterceptor = std::function<bool(const mac::QueueKey&, const Packet&)>;
+
+    Node(NodeId id, phy::Position position, sim::Scheduler& scheduler, util::Rng rng,
+         const mac::MacParams& mac_params, const StaticRouting& routing);
+
+    NodeId id() const { return id_; }
+    phy::NodePhy& phy() { return phy_; }
+    const phy::NodePhy& phy() const { return phy_; }
+    mac::DcfMac& mac() { return mac_; }
+    const mac::DcfMac& mac() const { return mac_; }
+
+    /// Inject a locally generated packet (source role). Returns false when
+    /// the own-traffic queue dropped it.
+    bool send(const Packet& packet);
+
+    /// Upper-layer delivery for packets whose end-to-end destination is
+    /// this node. Multiple handlers may subscribe (sink, meters, taps);
+    /// each sees every delivered packet.
+    void add_delivery_handler(DeliveryHandler handler) { delivery_.push_back(std::move(handler)); }
+
+    /// Promiscuous observers (EZ-Flow BOE, debug taps). All registered
+    /// handlers see every decoded frame not addressed to this node.
+    void add_sniff_handler(SniffHandler handler) { sniffers_.push_back(std::move(handler)); }
+    /// Observers of first on-air transmission attempts (BOE send hook).
+    void add_first_tx_handler(FirstTxHandler handler) { first_tx_.push_back(std::move(handler)); }
+    /// Observers of MAC completion events (success after ACK / retry drop).
+    void add_tx_success_handler(TxEventHandler handler) { tx_success_.push_back(std::move(handler)); }
+
+    /// Intercept outgoing packets (source and forwarded) before they reach
+    /// the MAC. Used by the rate-pacing EZ-Flow variant (core/pacer.h).
+    /// At most one interceptor can be installed.
+    void set_forward_interceptor(ForwardInterceptor interceptor);
+
+    // Forwarding statistics.
+    std::uint64_t forwarded() const { return forwarded_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t forward_queue_drops() const { return forward_queue_drops_; }
+    std::uint64_t source_queue_drops() const { return source_queue_drops_; }
+
+    // --- mac::MacCallbacks ---
+    void mac_rx(const phy::Frame& frame) override;
+    void mac_sniffed(const phy::Frame& frame) override;
+    void mac_first_tx(const mac::QueueKey& key, const Packet& packet) override;
+    void mac_tx_success(const mac::QueueKey& key, const Packet& packet) override;
+    void mac_tx_drop(const mac::QueueKey& key, const Packet& packet) override;
+
+private:
+    NodeId id_;
+    phy::NodePhy phy_;
+    mac::DcfMac mac_;
+    const StaticRouting& routing_;
+
+    std::vector<DeliveryHandler> delivery_;
+    std::vector<SniffHandler> sniffers_;
+    std::vector<FirstTxHandler> first_tx_;
+    std::vector<TxEventHandler> tx_success_;
+    ForwardInterceptor interceptor_;
+
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t forward_queue_drops_ = 0;
+    std::uint64_t source_queue_drops_ = 0;
+};
+
+}  // namespace ezflow::net

@@ -1,0 +1,21 @@
+#include "net/packet.h"
+
+namespace ezflow::net {
+
+std::uint16_t packet_checksum(int flow_id, std::uint64_t seq, NodeId src, NodeId dst, int bytes)
+{
+    // 64-bit mix (splitmix64 finalizer) folded to 16 bits. The goal is not
+    // cryptographic strength but the statistical behaviour of a transport
+    // checksum: uniform-looking, deterministic, 16 bits.
+    std::uint64_t z = static_cast<std::uint64_t>(flow_id) * 0x100000001b3ULL;
+    z ^= seq + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+    z ^= static_cast<std::uint64_t>(src) << 32;
+    z ^= static_cast<std::uint64_t>(dst) << 48;
+    z ^= static_cast<std::uint64_t>(bytes);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<std::uint16_t>(z ^ (z >> 16) ^ (z >> 32) ^ (z >> 48));
+}
+
+}  // namespace ezflow::net

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace ezflow::net {
+
+using util::SimTime;
+
+/// Node identifier inside a Network (dense, starting at 0).
+using NodeId = int;
+
+/// An end-to-end data packet. Carried by value through queues and frames;
+/// deliberately small and trivially copyable.
+struct Packet {
+    /// Globally unique id (per simulation), for tracing and MAC dedup.
+    std::uint64_t uid = 0;
+    /// Flow this packet belongs to.
+    int flow_id = -1;
+    /// Per-flow sequence number (creation order at the source).
+    std::uint64_t seq = 0;
+    /// End-to-end source and destination nodes.
+    NodeId src = -1;
+    NodeId dst = -1;
+    /// Transport payload size in bytes (UDP-like CBR payload).
+    int bytes = 0;
+    /// The 16-bit transport checksum the BOE uses as a passive identifier.
+    /// Computed from packet contents; collisions are possible, as with real
+    /// TCP/UDP checksums (Section 3.2 of the paper).
+    std::uint16_t checksum = 0;
+    /// Creation time at the source, for end-to-end delay accounting.
+    SimTime created_at = 0;
+    /// Time of the first on-air transmission attempt at the source MAC
+    /// (-1 until then). Network delay is measured from this point: a
+    /// saturated CBR source's local backlog reflects offered load, not
+    /// network turbulence, and the paper's 0.2 s EZ-Flow delays are only
+    /// attainable net of that artifact.
+    SimTime first_tx_at = -1;
+};
+
+/// Compute the 16-bit identifier for a packet, mimicking a transport
+/// checksum over the packet's identifying contents. It is a deterministic
+/// 16-bit fold of a 64-bit mix, so distinct packets can collide with
+/// probability ~2^-16, just like real checksums.
+std::uint16_t packet_checksum(int flow_id, std::uint64_t seq, NodeId src, NodeId dst, int bytes);
+
+}  // namespace ezflow::net

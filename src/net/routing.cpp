@@ -1,0 +1,53 @@
+#include "net/routing.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace ezflow::net {
+
+void StaticRouting::add_flow(int flow_id, std::vector<NodeId> path)
+{
+    if (path.size() < 2) throw std::invalid_argument("StaticRouting::add_flow: path too short");
+    std::set<NodeId> seen(path.begin(), path.end());
+    if (seen.size() != path.size())
+        throw std::invalid_argument("StaticRouting::add_flow: path revisits a node");
+    if (paths_.count(flow_id) > 0)
+        throw std::invalid_argument("StaticRouting::add_flow: duplicate flow id");
+    paths_[flow_id] = std::move(path);
+}
+
+NodeId StaticRouting::next_hop(int flow_id, NodeId node) const
+{
+    const auto& p = path(flow_id);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        if (p[i] == node) return p[i + 1];
+    }
+    throw std::invalid_argument("StaticRouting::next_hop: node has no next hop on this flow");
+}
+
+bool StaticRouting::has_next_hop(int flow_id, NodeId node) const
+{
+    const auto it = paths_.find(flow_id);
+    if (it == paths_.end()) return false;
+    const auto& p = it->second;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        if (p[i] == node) return true;
+    return false;
+}
+
+const std::vector<NodeId>& StaticRouting::path(int flow_id) const
+{
+    const auto it = paths_.find(flow_id);
+    if (it == paths_.end()) throw std::invalid_argument("StaticRouting: unknown flow");
+    return it->second;
+}
+
+std::vector<int> StaticRouting::flow_ids() const
+{
+    std::vector<int> ids;
+    ids.reserve(paths_.size());
+    for (const auto& [id, _] : paths_) ids.push_back(id);
+    return ids;
+}
+
+}  // namespace ezflow::net

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ezflow::net {
+
+/// Static per-flow source routing, the NOAH-equivalent the paper's
+/// simulations use ("we set the routing to be static", Section 4.1; NOAH
+/// agent, Section 5.1). Each flow is a fixed node path; a node's next hop
+/// for a flow is the node after it on that path.
+class StaticRouting {
+public:
+    /// Register a flow's path (>= 2 distinct nodes, no repeats).
+    void add_flow(int flow_id, std::vector<NodeId> path);
+
+    /// Next hop of `node` for `flow_id`. Throws for unknown flows or for
+    /// nodes not on the path / the final destination.
+    NodeId next_hop(int flow_id, NodeId node) const;
+
+    /// Whether `node` appears on the flow's path before the destination.
+    bool has_next_hop(int flow_id, NodeId node) const;
+
+    const std::vector<NodeId>& path(int flow_id) const;
+
+    /// All registered flow ids, ascending.
+    std::vector<int> flow_ids() const;
+
+private:
+    std::map<int, std::vector<NodeId>> paths_;
+};
+
+}  // namespace ezflow::net

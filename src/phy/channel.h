@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "phy/frame.h"
+#include "phy/phy.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace ezflow::phy {
+
+/// The shared wireless medium. Dispatches every transmission to all nodes
+/// within carrier-sense range, decides decodability per receiver (delivery
+/// range + per-link loss roll) and schedules signal-end events. The channel
+/// never filters by MAC address — everyone in range hears everything, which
+/// is exactly the property EZ-Flow's BOE exploits.
+class Channel {
+public:
+    Channel(sim::Scheduler& scheduler, util::Rng rng, PhyParams params);
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Register a node's PHY. The PHY must outlive the channel.
+    void attach(NodePhy& phy);
+
+    /// Frame-loss probability for the directed link tx -> rx. Models link
+    /// quality (distance, obstacles); used to calibrate the heterogeneous
+    /// testbed capacities of Table 1.
+    void set_link_loss(net::NodeId tx, net::NodeId rx, double loss_probability);
+    double link_loss(net::NodeId tx, net::NodeId rx) const;
+
+    /// Two-state Gilbert–Elliott bursty loss for the directed link
+    /// tx -> rx, replacing any static loss on that link: the link flips
+    /// between a good and a bad state as a continuous-time Markov chain
+    /// (rates per second) with a per-state frame loss probability. Models
+    /// the channel variability the paper cites as a reason the BOE must
+    /// tolerate missed sniffs.
+    struct GilbertParams {
+        double to_bad_per_s = 0.1;   ///< good -> bad transition rate
+        double to_good_per_s = 1.0;  ///< bad -> good transition rate
+        double loss_good = 0.0;
+        double loss_bad = 0.8;
+    };
+    void set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params);
+
+    /// Stationary loss fraction of a Gilbert link (for tests/calibration).
+    static double gilbert_stationary_loss(const GilbertParams& params);
+
+    /// Broadcast a frame from `sender`. Called by NodePhy::start_tx.
+    void transmit(NodePhy& sender, const Frame& frame);
+
+    const PhyParams& params() const { return params_; }
+
+    std::uint64_t transmissions() const { return transmissions_; }
+    std::uint64_t data_transmissions() const { return data_transmissions_; }
+
+private:
+    struct GilbertState {
+        GilbertParams params;
+        bool bad = false;
+        util::SimTime last_update = 0;
+    };
+
+    /// Current loss probability of the link, evolving any Gilbert state.
+    double sample_link_loss(net::NodeId tx, net::NodeId rx);
+
+    sim::Scheduler& scheduler_;
+    util::Rng rng_;
+    PhyParams params_;
+    std::vector<NodePhy*> phys_;
+    std::map<std::pair<net::NodeId, net::NodeId>, double> link_loss_;
+    std::map<std::pair<net::NodeId, net::NodeId>, GilbertState> gilbert_;
+    std::uint64_t next_signal_id_ = 1;
+    std::uint64_t transmissions_ = 0;
+    std::uint64_t data_transmissions_ = 0;
+};
+
+}  // namespace ezflow::phy

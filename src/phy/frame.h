@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "util/units.h"
+
+namespace ezflow::phy {
+
+using net::NodeId;
+using util::SimTime;
+
+enum class FrameType { kData, kAck, kRts, kCts };
+
+/// A MAC frame on the air. Data frames carry a Packet; control frames
+/// (ACK/RTS/CTS) carry only the MAC addressing needed for the exchange.
+struct Frame {
+    FrameType type = FrameType::kData;
+    NodeId tx_node = -1;  ///< transmitter (MAC source)
+    NodeId rx_node = -1;  ///< addressee (MAC destination)
+    std::uint32_t mac_seq = 0;
+    int retry = 0;  ///< retry index of this transmission attempt (0 = first)
+    /// Remaining duration of the exchange (NAV value), microseconds.
+    /// Meaningful on RTS/CTS; third parties defer for this long after the
+    /// frame ends.
+    SimTime duration_us = 0;
+    bool has_packet = false;
+    net::Packet packet{};
+};
+
+/// PHY parameters: IEEE 802.11b DSSS, long preamble, fixed 1 Mb/s, and the
+/// ns-2 default ranges the paper's simulations use.
+struct PhyParams {
+    double tx_range_m = 250.0;       ///< delivery range (two-ray, ns-2 default)
+    double cs_range_m = 550.0;       ///< carrier-sense range
+    double interference_range_m = 550.0;  ///< corrupts receptions within this range
+    /// Capture threshold (linear SIR). A locked reception survives
+    /// overlapping interference as long as its power exceeds the sum of
+    /// interferer powers by this ratio (ns-2 CPThresh = 10 dB). Power
+    /// follows the two-ray 1/d^4 law — all scenario distances exceed the
+    /// ~86 m crossover, so the d^-4 regime applies throughout.
+    double capture_threshold = 10.0;
+    std::int64_t bitrate_bps = 1'000'000;
+    SimTime plcp_overhead_us = 192;  ///< long PLCP preamble + header at 1 Mb/s
+    int mac_data_overhead_bytes = 36;  ///< 24 B MAC header + 4 B FCS + 8 B LLC/SNAP
+    int ack_frame_bytes = 14;
+    int rts_frame_bytes = 20;
+    int cts_frame_bytes = 14;
+
+    /// Airtime of a frame, in microseconds.
+    SimTime tx_duration(const Frame& frame) const
+    {
+        int bytes = 0;
+        switch (frame.type) {
+            case FrameType::kAck: bytes = ack_frame_bytes; break;
+            case FrameType::kRts: bytes = rts_frame_bytes; break;
+            case FrameType::kCts: bytes = cts_frame_bytes; break;
+            case FrameType::kData:
+                bytes = mac_data_overhead_bytes + (frame.has_packet ? frame.packet.bytes : 0);
+                break;
+        }
+        const std::int64_t bits = static_cast<std::int64_t>(bytes) * 8;
+        // 1 Mb/s => 1 bit per microsecond; keep the general formula anyway.
+        return plcp_overhead_us + bits * 1'000'000 / bitrate_bps;
+    }
+};
+
+}  // namespace ezflow::phy

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cmath>
+
+namespace ezflow::phy {
+
+/// Planar node position in meters. The testbed map (Fig. 3) and the ns-2
+/// scenarios are both 2-D deployments.
+struct Position {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+inline double distance(const Position& a, const Position& b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ezflow::phy

@@ -1,0 +1,120 @@
+#include "phy/phy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/channel.h"
+
+namespace ezflow::phy {
+
+NodePhy::NodePhy(net::NodeId id, Position position, sim::Scheduler& scheduler)
+    : id_(id), position_(position), scheduler_(scheduler)
+{
+    (void)scheduler_;  // kept for symmetry/future use (e.g. switching delays)
+}
+
+const PhyParams& NodePhy::channel_params() const
+{
+    if (channel_ == nullptr) throw std::logic_error("NodePhy::channel_params: no channel attached");
+    return channel_->params();
+}
+
+int NodePhy::sensed_count() const
+{
+    int count = 0;
+    for (const ActiveSignal& s : active_)
+        if (s.sensed) ++count;
+    return count;
+}
+
+double NodePhy::interference_sum(std::uint64_t except_id) const
+{
+    double sum = 0.0;
+    for (const ActiveSignal& s : active_)
+        if (s.id != except_id) sum += s.power_w;
+    return sum;
+}
+
+void NodePhy::start_tx(const Frame& frame)
+{
+    if (transmitting_) throw std::logic_error("NodePhy::start_tx: already transmitting");
+    if (channel_ == nullptr) throw std::logic_error("NodePhy::start_tx: no channel attached");
+    if (rx_active_) {
+        // Half-duplex: starting a transmission abandons the reception.
+        rx_active_ = false;
+        ++frames_corrupted_;
+    }
+    transmitting_ = true;
+    update_busy();
+    channel_->transmit(*this, frame);
+}
+
+void NodePhy::signal_start(std::uint64_t signal_id, const Frame& frame, bool decodable,
+                           bool sensed, double power_w)
+{
+    (void)frame;
+    active_.push_back(ActiveSignal{signal_id, power_w, sensed});
+    const double threshold = channel_params().capture_threshold;
+    if (transmitting_) {
+        // Cannot hear anything while transmitting.
+        if (decodable) ++frames_missed_busy_;
+    } else if (rx_active_) {
+        // The locked reception survives if it still captures over the sum
+        // of all interferers (corruption is sticky).
+        if (rx_power_w_ < threshold * interference_sum(rx_signal_id_)) rx_corrupted_ = true;
+        if (decodable) ++frames_missed_busy_;
+    } else if (decodable) {
+        rx_active_ = true;
+        rx_signal_id_ = signal_id;
+        rx_power_w_ = power_w;
+        // Pre-existing overlapping energy corrupts the new reception
+        // unless the frame captures over it.
+        rx_corrupted_ = power_w < threshold * interference_sum(signal_id);
+    }
+    update_busy();
+}
+
+void NodePhy::signal_end(std::uint64_t signal_id, const Frame& frame)
+{
+    const auto it = std::find_if(active_.begin(), active_.end(),
+                                 [signal_id](const ActiveSignal& s) { return s.id == signal_id; });
+    if (it == active_.end()) throw std::logic_error("NodePhy::signal_end: unknown signal");
+    const bool was_sensed = it->sensed;
+    active_.erase(it);
+
+    const bool completes_rx = rx_active_ && rx_signal_id_ == signal_id;
+    bool deliver = false;
+    if (completes_rx) {
+        rx_active_ = false;
+        if (rx_corrupted_) {
+            ++frames_corrupted_;
+        } else {
+            ++frames_decoded_;
+            deliver = true;
+        }
+    }
+    // EIFS bookkeeping: a sensed busy period that did not end in a clean
+    // decode leaves the station obliged to wait EIFS next (unless it was
+    // transmitting itself, in which case it saw nothing).
+    if (was_sensed && !transmitting_) last_rx_error_ = !deliver;
+    update_busy();
+    if (deliver && listener_ != nullptr) listener_->phy_frame_decoded(frame);
+}
+
+void NodePhy::tx_end(const Frame& frame)
+{
+    if (!transmitting_) throw std::logic_error("NodePhy::tx_end: not transmitting");
+    transmitting_ = false;
+    update_busy();
+    if (listener_ != nullptr) listener_->phy_tx_done(frame);
+}
+
+void NodePhy::update_busy()
+{
+    const bool now_busy = busy();
+    if (now_busy == last_busy_) return;
+    last_busy_ = now_busy;
+    if (listener_ != nullptr) listener_->phy_busy_changed(now_busy);
+}
+
+}  // namespace ezflow::phy

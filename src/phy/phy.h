@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+
+#include "phy/frame.h"
+#include "phy/geometry.h"
+#include "sim/scheduler.h"
+
+namespace ezflow::phy {
+
+class Channel;
+
+/// Callbacks a MAC implements to drive and observe its PHY.
+class PhyListener {
+public:
+    virtual ~PhyListener() = default;
+    /// Medium busy/idle transitions as seen by carrier sense (other nodes'
+    /// energy or own transmission).
+    virtual void phy_busy_changed(bool busy) = 0;
+    /// A frame was decoded at this node — addressed to it or not (the MAC
+    /// performs address filtering; promiscuous listeners get the rest).
+    virtual void phy_frame_decoded(const Frame& frame) = 0;
+    /// Own transmission finished.
+    virtual void phy_tx_done(const Frame& frame) = 0;
+};
+
+/// Per-node radio. Models a half-duplex 802.11 interface:
+///  * carrier sense counts overlapping signals within cs_range;
+///  * the node locks onto the first decodable signal while idle;
+///  * any overlapping signal within interference range corrupts a
+///    reception in progress (no capture);
+///  * a transmitting node hears nothing (half duplex) — this is what made
+///    the authors use a second radio as sniffer on the testbed.
+class NodePhy {
+public:
+    NodePhy(net::NodeId id, Position position, sim::Scheduler& scheduler);
+    NodePhy(const NodePhy&) = delete;
+    NodePhy& operator=(const NodePhy&) = delete;
+
+    void set_channel(Channel* channel) { channel_ = channel; }
+    void set_listener(PhyListener* listener) { listener_ = listener; }
+
+    net::NodeId id() const { return id_; }
+    const Position& position() const { return position_; }
+
+    /// PHY parameters of the attached channel (throws when detached).
+    const PhyParams& channel_params() const;
+
+    /// Medium busy for carrier sense: own TX or any sensed energy.
+    bool busy() const { return transmitting_ || sensed_count() > 0; }
+    bool transmitting() const { return transmitting_; }
+
+    /// Start transmitting `frame`. Throws if a transmission is in progress.
+    /// Aborts (corrupts) any reception in progress: half-duplex.
+    void start_tx(const Frame& frame);
+
+    // --- channel-facing interface ---
+    /// A signal reaching this node started. `decodable`: within delivery
+    /// range and the per-link loss roll succeeded. `sensed`: within
+    /// carrier-sense range (contributes to energy detection). `power_w`:
+    /// received power (two-ray), used for capture decisions against
+    /// interference within interference range.
+    void signal_start(std::uint64_t signal_id, const Frame& frame, bool decodable, bool sensed,
+                      double power_w);
+    /// The same signal ended.
+    void signal_end(std::uint64_t signal_id, const Frame& frame);
+    /// Own transmission ended (scheduled by the channel).
+    void tx_end(const Frame& frame);
+
+    /// Whether the most recent sensed signal ended without a correct
+    /// decode at this node (drives the MAC's EIFS rule).
+    bool last_rx_error() const { return last_rx_error_; }
+
+    // --- statistics ---
+    std::uint64_t frames_decoded() const { return frames_decoded_; }
+    std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+    std::uint64_t frames_missed_busy() const { return frames_missed_busy_; }
+
+private:
+    struct ActiveSignal {
+        std::uint64_t id;
+        double power_w;
+        bool sensed;
+    };
+
+    void update_busy();
+    int sensed_count() const;
+    /// Sum of active signal powers excluding `except_id`.
+    double interference_sum(std::uint64_t except_id) const;
+
+    net::NodeId id_;
+    Position position_;
+    sim::Scheduler& scheduler_;
+    Channel* channel_ = nullptr;
+    PhyListener* listener_ = nullptr;
+
+    std::vector<ActiveSignal> active_;  ///< overlapping signals at this node
+    bool transmitting_ = false;
+    bool last_busy_ = false;
+
+    bool rx_active_ = false;
+    std::uint64_t rx_signal_id_ = 0;
+    double rx_power_w_ = 0.0;
+    bool rx_corrupted_ = false;
+    bool last_rx_error_ = false;
+
+    std::uint64_t frames_decoded_ = 0;
+    std::uint64_t frames_corrupted_ = 0;
+    std::uint64_t frames_missed_busy_ = 0;
+};
+
+}  // namespace ezflow::phy

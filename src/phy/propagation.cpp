@@ -1,0 +1,59 @@
+#include "phy/propagation.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace ezflow::phy {
+
+double PropagationModel::range_for_threshold(double tx_power_w, double threshold_w) const
+{
+    if (threshold_w <= 0.0) throw std::invalid_argument("range_for_threshold: threshold must be > 0");
+    // Bisect on a monotone decreasing power profile.
+    double lo = 0.1;
+    double hi = 1.0;
+    while (rx_power_w(tx_power_w, hi) > threshold_w && hi < 1e7) hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (rx_power_w(tx_power_w, mid) > threshold_w)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+FreeSpace::FreeSpace(double wavelength_m, double gain_tx, double gain_rx, double system_loss)
+    : wavelength_m_(wavelength_m), gain_tx_(gain_tx), gain_rx_(gain_rx), system_loss_(system_loss)
+{
+    if (wavelength_m <= 0.0) throw std::invalid_argument("FreeSpace: wavelength must be > 0");
+}
+
+double FreeSpace::rx_power_w(double tx_power_w, double distance_m) const
+{
+    if (distance_m <= 0.0) return tx_power_w;
+    const double denom = 4.0 * std::numbers::pi * distance_m;
+    return tx_power_w * gain_tx_ * gain_rx_ * wavelength_m_ * wavelength_m_ /
+           (denom * denom * system_loss_);
+}
+
+TwoRayGround::TwoRayGround(double wavelength_m, double antenna_height_m, double gain_tx,
+                           double gain_rx, double system_loss)
+    : friis_(wavelength_m, gain_tx, gain_rx, system_loss),
+      height_m_(antenna_height_m),
+      gain_tx_(gain_tx),
+      gain_rx_(gain_rx),
+      system_loss_(system_loss),
+      crossover_m_(4.0 * std::numbers::pi * antenna_height_m * antenna_height_m / wavelength_m)
+{
+    if (antenna_height_m <= 0.0) throw std::invalid_argument("TwoRayGround: height must be > 0");
+}
+
+double TwoRayGround::rx_power_w(double tx_power_w, double distance_m) const
+{
+    if (distance_m < crossover_m_) return friis_.rx_power_w(tx_power_w, distance_m);
+    const double d2 = distance_m * distance_m;
+    return tx_power_w * gain_tx_ * gain_rx_ * height_m_ * height_m_ * height_m_ * height_m_ /
+           (d2 * d2 * system_loss_);
+}
+
+}  // namespace ezflow::phy

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "phy/geometry.h"
+
+namespace ezflow::phy {
+
+/// Received-power propagation models. The paper's simulations use ns-2
+/// defaults: two-ray ground reflection with a 250 m delivery range and a
+/// 550 m carrier-sense range. The packet simulator works with range
+/// thresholds; these models exist to *derive* consistent thresholds from
+/// physical parameters, and are unit-tested against the ns-2 constants.
+class PropagationModel {
+public:
+    virtual ~PropagationModel() = default;
+    /// Received power in watts for a transmit power `tx_power_w` at distance d (m).
+    virtual double rx_power_w(double tx_power_w, double distance_m) const = 0;
+    /// Distance at which rx power crosses `threshold_w` (monotone models only).
+    double range_for_threshold(double tx_power_w, double threshold_w) const;
+};
+
+/// Friis free-space model: Pr = Pt * (Gt*Gr*lambda^2) / ((4*pi*d)^2 * L).
+class FreeSpace final : public PropagationModel {
+public:
+    FreeSpace(double wavelength_m, double gain_tx = 1.0, double gain_rx = 1.0, double system_loss = 1.0);
+    double rx_power_w(double tx_power_w, double distance_m) const override;
+
+private:
+    double wavelength_m_;
+    double gain_tx_;
+    double gain_rx_;
+    double system_loss_;
+};
+
+/// Two-ray ground reflection: Pr = Pt * Gt*Gr*ht^2*hr^2 / (d^4*L) beyond the
+/// crossover distance, Friis below it (the ns-2 implementation).
+class TwoRayGround final : public PropagationModel {
+public:
+    TwoRayGround(double wavelength_m, double antenna_height_m, double gain_tx = 1.0,
+                 double gain_rx = 1.0, double system_loss = 1.0);
+    double rx_power_w(double tx_power_w, double distance_m) const override;
+    double crossover_distance_m() const { return crossover_m_; }
+
+private:
+    FreeSpace friis_;
+    double height_m_;
+    double gain_tx_;
+    double gain_rx_;
+    double system_loss_;
+    double crossover_m_;
+};
+
+/// ns-2 default WiFi PHY constants (wireless-phy.cc), used in tests to show
+/// that the 250 m / 550 m thresholds follow from the two-ray model.
+struct Ns2DefaultPhy {
+    static constexpr double kTxPowerW = 0.28183815;
+    static constexpr double kRxThresholdW = 3.652e-10;  // ~250 m
+    static constexpr double kCsThresholdW = 1.559e-11;  // ~550 m
+    static constexpr double kFrequencyHz = 914e6;
+    static constexpr double kAntennaHeightM = 1.5;
+    static constexpr double kSpeedOfLight = 3e8;
+};
+
+}  // namespace ezflow::phy

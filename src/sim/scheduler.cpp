@@ -1,0 +1,74 @@
+#include "sim/scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace ezflow::sim {
+
+EventId Scheduler::schedule_at(SimTime at, std::function<void()> action)
+{
+    if (at < now_) throw std::invalid_argument("Scheduler::schedule_at: time in the past");
+    if (!action) throw std::invalid_argument("Scheduler::schedule_at: empty action");
+    const std::uint64_t id = next_id_++;
+    queue_.push(Entry{at, next_seq_++, id, std::move(action)});
+    pending_ids_.insert(id);
+    ++live_events_;
+    return EventId{id};
+}
+
+EventId Scheduler::schedule_in(SimTime delay, std::function<void()> action)
+{
+    if (delay < 0) throw std::invalid_argument("Scheduler::schedule_in: negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id)
+{
+    if (!id.valid()) return false;
+    if (pending_ids_.erase(id.value) == 0) return false;  // already ran or cancelled
+    cancelled_.insert(id.value);
+    --live_events_;
+    return true;
+}
+
+bool Scheduler::pop_and_run_next(SimTime limit)
+{
+    while (!queue_.empty()) {
+        const Entry& top = queue_.top();
+        if (top.at > limit) return false;
+        if (cancelled_.erase(top.id) > 0) {
+            queue_.pop();
+            continue;
+        }
+        // Move the action out before popping so the handler may schedule
+        // further events (which can reallocate the heap).
+        Entry entry = std::move(const_cast<Entry&>(top));
+        queue_.pop();
+        pending_ids_.erase(entry.id);
+        now_ = entry.at;
+        --live_events_;
+        ++processed_;
+        entry.action();
+        return true;
+    }
+    return false;
+}
+
+void Scheduler::run()
+{
+    stopped_ = false;
+    while (!stopped_ && pop_and_run_next(std::numeric_limits<SimTime>::max())) {
+    }
+}
+
+void Scheduler::run_until(SimTime until)
+{
+    if (until < now_) throw std::invalid_argument("Scheduler::run_until: time in the past");
+    stopped_ = false;
+    while (!stopped_ && pop_and_run_next(until)) {
+    }
+    if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace ezflow::sim

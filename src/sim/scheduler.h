@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace ezflow::sim {
+
+using util::SimTime;
+
+/// Handle to a scheduled event, usable for cancellation.
+struct EventId {
+    std::uint64_t value = 0;
+    bool valid() const { return value != 0; }
+};
+
+/// Single-threaded discrete-event scheduler with an integer-microsecond
+/// clock. Events scheduled for the same time fire in scheduling order
+/// (stable FIFO tie-break), which keeps runs deterministic.
+///
+/// Cancellation is O(1) via tombstoning: cancelled events stay in the heap
+/// and are discarded when they surface.
+class Scheduler {
+public:
+    Scheduler() = default;
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    SimTime now() const { return now_; }
+
+    /// Schedule `action` to run at absolute time `at` (must be >= now()).
+    EventId schedule_at(SimTime at, std::function<void()> action);
+
+    /// Schedule `action` to run `delay` microseconds from now (delay >= 0).
+    EventId schedule_in(SimTime delay, std::function<void()> action);
+
+    /// Cancel a pending event. Returns false if the event already ran,
+    /// was already cancelled, or the id is unknown.
+    bool cancel(EventId id);
+
+    /// Run events until the queue is empty or `stop()` is called.
+    void run();
+
+    /// Run events with a timestamp <= `until`. The clock is left at
+    /// `until` even if the queue empties earlier.
+    void run_until(SimTime until);
+
+    /// Request that the current run()/run_until() stops after the event
+    /// being processed returns.
+    void stop() { stopped_ = true; }
+
+    std::size_t pending() const { return live_events_; }
+    std::uint64_t processed() const { return processed_; }
+
+private:
+    struct Entry {
+        SimTime at;
+        std::uint64_t seq;  // tie-break: FIFO among same-time events
+        std::uint64_t id;
+        std::function<void()> action;
+        bool operator>(const Entry& other) const
+        {
+            if (at != other.at) return at > other.at;
+            return seq > other.seq;
+        }
+    };
+
+    bool pop_and_run_next(SimTime limit);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::unordered_set<std::uint64_t> pending_ids_;
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_id_ = 1;
+    std::size_t live_events_ = 0;
+    std::uint64_t processed_ = 0;
+    bool stopped_ = false;
+};
+
+}  // namespace ezflow::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "util/stats.h"
+
+namespace ezflow::traffic {
+
+using util::SimTime;
+
+/// Per-flow traffic sink. Installed at a flow's destination node; records
+/// delivered bytes, end-to-end delay and in-order/duplicate accounting so
+/// the analysis layer can compute throughput/delay/fairness exactly as the
+/// paper reports them.
+class Sink {
+public:
+    struct FlowRecord {
+        std::uint64_t packets = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t duplicates = 0;
+        std::uint64_t reordered = 0;
+        /// Network delay: first transmission at the source -> delivery
+        /// (the paper's end-to-end delay; a greedy source's local backlog
+        /// is excluded, see net::Packet::first_tx_at).
+        util::RunningStats delay_us;
+        /// Total delay including the source's own queueing (from packet
+        /// creation), kept for completeness.
+        util::RunningStats total_delay_us;
+        /// (time, network delay) samples, for Fig. 7 / Fig. 10 plots.
+        util::TimeSeries delay_series;
+        /// Highest sequence number seen, for reorder/duplicate detection.
+        std::int64_t max_seq_seen = -1;
+    };
+
+    explicit Sink(net::Network& network);
+    Sink(const Sink&) = delete;
+    Sink& operator=(const Sink&) = delete;
+
+    /// Attach this sink to the destination node of `flow_id`.
+    void attach_flow(int flow_id);
+
+    bool has_flow(int flow_id) const { return flows_.count(flow_id) > 0; }
+    const FlowRecord& flow(int flow_id) const;
+
+    /// Total goodput of a flow over [from, to) in kb/s, computed from the
+    /// per-packet arrival log.
+    double goodput_kbps(int flow_id, SimTime from, SimTime to) const;
+
+private:
+    void on_delivery(int flow_id, const net::Packet& packet);
+
+    net::Network& network_;
+    std::map<int, FlowRecord> flows_;
+    /// Arrival log per flow: (time, bits) — kept to window throughput.
+    std::map<int, util::TimeSeries> arrivals_;
+};
+
+}  // namespace ezflow::traffic

@@ -1,0 +1,97 @@
+#include "traffic/source.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ezflow::traffic {
+
+Source::Source(net::Network& network, int flow_id, int payload_bytes)
+    : network_(network), flow_id_(flow_id), payload_bytes_(payload_bytes)
+{
+    if (payload_bytes <= 0) throw std::invalid_argument("Source: payload must be > 0");
+    const auto& path = network.routing().path(flow_id);
+    src_node_ = path.front();
+    dst_node_ = path.back();
+    // Partition the uid space per flow so packet uids stay globally unique.
+    next_uid_base_ = static_cast<std::uint64_t>(flow_id + 1) << 40;
+}
+
+void Source::activate(SimTime start, SimTime stop)
+{
+    if (activated_) throw std::logic_error("Source::activate: already activated");
+    if (stop <= start) throw std::invalid_argument("Source::activate: empty active period");
+    activated_ = true;
+    stop_at_ = stop;
+    network_.scheduler().schedule_at(start, [this] { emit(); });
+}
+
+void Source::emit()
+{
+    if (network_.now() >= stop_at_) return;
+
+    net::Packet packet;
+    packet.uid = next_uid_base_ + next_seq_;
+    packet.flow_id = flow_id_;
+    packet.seq = next_seq_++;
+    packet.src = src_node_;
+    packet.dst = dst_node_;
+    packet.bytes = payload_bytes_;
+    packet.checksum = net::packet_checksum(flow_id_, packet.seq, src_node_, dst_node_, payload_bytes_);
+    packet.created_at = network_.now();
+
+    ++stats_.generated;
+    if (network_.node(src_node_).send(packet))
+        ++stats_.accepted;
+    else
+        ++stats_.dropped_at_source;
+
+    const SimTime gap = std::max<SimTime>(1, next_interval());
+    network_.scheduler().schedule_in(gap, [this] { emit(); });
+}
+
+CbrSource::CbrSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps)
+    : Source(network, flow_id, payload_bytes)
+{
+    if (rate_bps <= 0.0) throw std::invalid_argument("CbrSource: rate must be > 0");
+    interval_us_ = static_cast<SimTime>(static_cast<double>(payload_bytes) * 8.0 * 1e6 / rate_bps);
+    interval_us_ = std::max<SimTime>(1, interval_us_);
+}
+
+PoissonSource::PoissonSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps)
+    : Source(network, flow_id, payload_bytes), rng_(network.fork_rng())
+{
+    if (rate_bps <= 0.0) throw std::invalid_argument("PoissonSource: rate must be > 0");
+    mean_interval_us_ = static_cast<double>(payload_bytes) * 8.0 * 1e6 / rate_bps;
+}
+
+SimTime PoissonSource::next_interval()
+{
+    return static_cast<SimTime>(rng_.exponential(mean_interval_us_));
+}
+
+OnOffSource::OnOffSource(net::Network& network, int flow_id, int payload_bytes,
+                         double peak_rate_bps, double mean_on_s, double mean_off_s)
+    : Source(network, flow_id, payload_bytes), rng_(network.fork_rng())
+{
+    if (peak_rate_bps <= 0.0) throw std::invalid_argument("OnOffSource: rate must be > 0");
+    if (mean_on_s <= 0.0 || mean_off_s <= 0.0)
+        throw std::invalid_argument("OnOffSource: on/off means must be > 0");
+    interval_us_ =
+        std::max<SimTime>(1, static_cast<SimTime>(static_cast<double>(payload_bytes) * 8.0 * 1e6 / peak_rate_bps));
+    mean_on_us_ = util::from_seconds(mean_on_s);
+    mean_off_us_ = util::from_seconds(mean_off_s);
+}
+
+SimTime OnOffSource::next_interval()
+{
+    if (burst_remaining_us_ >= interval_us_) {
+        burst_remaining_us_ -= interval_us_;
+        return interval_us_;
+    }
+    const auto off = static_cast<SimTime>(rng_.exponential(static_cast<double>(mean_off_us_)));
+    burst_remaining_us_ =
+        std::max(interval_us_, static_cast<SimTime>(rng_.exponential(static_cast<double>(mean_on_us_))));
+    return std::max<SimTime>(1, off) + interval_us_;
+}
+
+}  // namespace ezflow::traffic

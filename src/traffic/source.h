@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace ezflow::traffic {
+
+using util::SimTime;
+
+/// Common behaviour of packet sources: generate packets of a flow at a
+/// node between start/stop times. Packets enter the node's own-traffic
+/// MAC queue; when it is full they are dropped at the source, which is how
+/// a saturated (greedy) application behaves on real hardware.
+class Source {
+public:
+    struct Stats {
+        std::uint64_t generated = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t dropped_at_source = 0;
+    };
+
+    Source(net::Network& network, int flow_id, int payload_bytes);
+    virtual ~Source() = default;
+    Source(const Source&) = delete;
+    Source& operator=(const Source&) = delete;
+
+    /// Schedule the active period [start, stop). Call once.
+    void activate(SimTime start, SimTime stop);
+
+    const Stats& stats() const { return stats_; }
+    int flow_id() const { return flow_id_; }
+
+protected:
+    /// Time until the next packet (strictly positive).
+    virtual SimTime next_interval() = 0;
+
+    net::Network& network() { return network_; }
+
+private:
+    void emit();
+
+    net::Network& network_;
+    int flow_id_;
+    int payload_bytes_;
+    net::NodeId src_node_;
+    net::NodeId dst_node_;
+    SimTime stop_at_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_uid_base_ = 0;
+    Stats stats_;
+    bool activated_ = false;
+};
+
+/// Constant bit rate source (the paper's workload: CBR at 2 Mb/s to keep
+/// sources saturated).
+class CbrSource final : public Source {
+public:
+    CbrSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps);
+
+protected:
+    SimTime next_interval() override { return interval_us_; }
+
+private:
+    SimTime interval_us_;
+};
+
+/// Poisson (exponential inter-arrival) source, for non-saturated and
+/// bursty-load experiments.
+class PoissonSource final : public Source {
+public:
+    PoissonSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps);
+
+protected:
+    SimTime next_interval() override;
+
+private:
+    double mean_interval_us_;
+    util::Rng rng_;
+};
+
+/// On-off source: exponentially distributed bursts at peak rate separated
+/// by exponential silences. Used by the traffic-adaptivity ablations.
+class OnOffSource final : public Source {
+public:
+    OnOffSource(net::Network& network, int flow_id, int payload_bytes, double peak_rate_bps,
+                double mean_on_s, double mean_off_s);
+
+protected:
+    SimTime next_interval() override;
+
+private:
+    SimTime interval_us_;
+    SimTime mean_on_us_;
+    SimTime mean_off_us_;
+    util::Rng rng_;
+    SimTime burst_remaining_us_ = 0;
+};
+
+}  // namespace ezflow::traffic

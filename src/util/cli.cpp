@@ -1,0 +1,55 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace ezflow::util {
+
+Cli::Cli(int argc, const char* const* argv)
+{
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg.erase(0, 2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else {
+            flags_[arg] = "true";
+        }
+    }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const
+{
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return std::stod(it->second);
+}
+
+int Cli::get_int(const std::string& name, int fallback) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return std::stoi(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const
+{
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes" || it->second == "on";
+}
+
+}  // namespace ezflow::util

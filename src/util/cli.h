@@ -1,0 +1,31 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Tiny command-line flag parser for the examples and bench harnesses.
+/// Accepts `--name=value` pairs and bare `--switch` flags (true); anything
+/// else is collected as a positional argument.
+class Cli {
+public:
+    Cli(int argc, const char* const* argv);
+
+    bool has(const std::string& name) const;
+    std::string get(const std::string& name, const std::string& fallback) const;
+    double get_double(const std::string& name, double fallback) const;
+    int get_int(const std::string& name, int fallback) const;
+    bool get_bool(const std::string& name, bool fallback) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& program() const { return program_; }
+
+private:
+    std::string program_;
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace ezflow::util

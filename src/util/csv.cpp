@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ezflow::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size())
+{
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+    add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream os;
+        os << v;
+        text.push_back(os.str());
+    }
+    add_row(text);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells)
+{
+    if (cells.size() != columns_) throw std::invalid_argument("CsvWriter: wrong column count");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+}
+
+}  // namespace ezflow::util

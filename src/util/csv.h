@@ -1,0 +1,28 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Minimal CSV writer; used to dump figure series (time vs value) so the
+/// paper's plots can be regenerated with any plotting tool.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header line.
+    /// Throws std::runtime_error when the file cannot be opened.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    void add_row(const std::vector<double>& cells);
+    void add_row(const std::vector<std::string>& cells);
+
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+}  // namespace ezflow::util

@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace ezflow::util {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+LogLevel Log::level() { return level_; }
+
+void Log::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Log::parse_level(const std::string& name)
+{
+    if (name == "off") return LogLevel::kOff;
+    if (name == "error") return LogLevel::kError;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "trace") return LogLevel::kTrace;
+    return LogLevel::kInfo;
+}
+
+void Log::write(LogLevel level, SimTime now, const std::string& message)
+{
+    if (level_ < level) return;
+    if (now >= 0)
+        std::cerr << "[" << to_seconds(now) << "s] " << message << '\n';
+    else
+        std::cerr << message << '\n';
+}
+
+}  // namespace ezflow::util

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Fixed-capacity circular buffer that overwrites its oldest entry when
+/// full. Entries are addressed by a monotonically increasing sequence
+/// number, so callers can keep stable references to "the n-th item ever
+/// pushed" and ask whether it is still retained. This is exactly the shape
+/// needed by the EZ-Flow BOE: "keep in memory a list of the identifiers of
+/// the last 1000 packets sent".
+template <typename T>
+class RingBuffer {
+public:
+    explicit RingBuffer(std::size_t capacity) : capacity_(capacity), items_(capacity)
+    {
+        if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity must be > 0");
+    }
+
+    /// Append an item, overwriting the oldest entry when at capacity.
+    /// Returns the sequence number assigned to the item.
+    std::uint64_t push(T item)
+    {
+        items_[next_seq_ % capacity_] = std::move(item);
+        return next_seq_++;
+    }
+
+    /// Number of items currently retained.
+    std::size_t size() const
+    {
+        return next_seq_ < capacity_ ? static_cast<std::size_t>(next_seq_) : capacity_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return next_seq_ == 0; }
+
+    /// Sequence number of the oldest retained item. Requires !empty().
+    std::uint64_t oldest_seq() const
+    {
+        check_nonempty();
+        return next_seq_ < capacity_ ? 0 : next_seq_ - capacity_;
+    }
+
+    /// Sequence number of the newest item. Requires !empty().
+    std::uint64_t newest_seq() const
+    {
+        check_nonempty();
+        return next_seq_ - 1;
+    }
+
+    /// Whether the item with this sequence number is still retained.
+    bool contains_seq(std::uint64_t seq) const
+    {
+        return !empty() && seq >= oldest_seq() && seq <= newest_seq();
+    }
+
+    /// Access by sequence number. Requires contains_seq(seq).
+    const T& at_seq(std::uint64_t seq) const
+    {
+        if (!contains_seq(seq)) throw std::out_of_range("RingBuffer::at_seq: evicted or unseen seq");
+        return items_[seq % capacity_];
+    }
+
+    void clear()
+    {
+        next_seq_ = 0;
+    }
+
+private:
+    void check_nonempty() const
+    {
+        if (empty()) throw std::out_of_range("RingBuffer: empty");
+    }
+
+    std::size_t capacity_;
+    std::vector<T> items_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ezflow::util

@@ -1,0 +1,61 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ezflow::util {
+
+int Rng::uniform_int(int lo, int hi)
+{
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool Rng::bernoulli(double p)
+{
+    const double clamped = std::clamp(p, 0.0, 1.0);
+    std::bernoulli_distribution dist(clamped);
+    return dist(engine_);
+}
+
+double Rng::exponential(double mean)
+{
+    if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+}
+
+int Rng::weighted_index(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+        total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: no positive weight");
+    double x = uniform_real(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size() - 1);
+}
+
+Rng Rng::fork()
+{
+    // SplitMix-style scramble of a fresh draw, so that the child stream is
+    // decorrelated from subsequent draws of the parent.
+    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+}
+
+}  // namespace ezflow::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Deterministic random number generator used across the simulator.
+///
+/// A thin wrapper over std::mt19937_64 providing the distributions the
+/// simulator needs. Components that need independent streams derive them
+/// with `fork()`, which produces a child generator whose seed is a function
+/// of the parent state; two simulations built from the same root seed are
+/// bit-identical.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    int uniform_int(int lo, int hi);
+
+    /// Uniform real in [lo, hi).
+    double uniform_real(double lo, double hi);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p);
+
+    /// Exponentially distributed value with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Pick an index in [0, weights.size()) with probability proportional
+    /// to weights[i]. Requires at least one strictly positive weight.
+    int weighted_index(const std::vector<double>& weights);
+
+    /// Derive an independent child generator.
+    Rng fork();
+
+    /// Raw 64-bit draw (used by hashing/property tests).
+    std::uint64_t next_u64() { return engine_(); }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace ezflow::util

@@ -1,0 +1,96 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ezflow::util {
+
+void RunningStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+void TimeSeries::add(SimTime t, double value)
+{
+    if (!times_.empty() && t < times_.back())
+        throw std::invalid_argument("TimeSeries::add: timestamps must be non-decreasing");
+    times_.push_back(t);
+    values_.push_back(value);
+}
+
+namespace {
+
+template <typename Fn>
+void for_each_in_window(const std::vector<SimTime>& times, const std::vector<double>& values,
+                        SimTime from, SimTime to, Fn&& fn)
+{
+    const auto begin = std::lower_bound(times.begin(), times.end(), from);
+    for (auto it = begin; it != times.end() && *it < to; ++it) {
+        fn(values[static_cast<std::size_t>(it - times.begin())]);
+    }
+}
+
+}  // namespace
+
+double TimeSeries::mean_between(SimTime from, SimTime to) const
+{
+    RunningStats s;
+    for_each_in_window(times_, values_, from, to, [&](double v) { s.add(v); });
+    return s.mean();
+}
+
+double TimeSeries::max_between(SimTime from, SimTime to) const
+{
+    RunningStats s;
+    for_each_in_window(times_, values_, from, to, [&](double v) { s.add(v); });
+    return s.max();
+}
+
+double TimeSeries::stddev_between(SimTime from, SimTime to) const
+{
+    RunningStats s;
+    for_each_in_window(times_, values_, from, to, [&](double v) { s.add(v); });
+    return s.stddev();
+}
+
+double percentile(std::vector<double> values, double p)
+{
+    if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace ezflow::util

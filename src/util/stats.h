@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace ezflow::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x);
+
+    std::int64_t count() const { return count_; }
+    double mean() const;
+    /// Sample variance (n-1 denominator). Zero for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+    void reset();
+
+private:
+    std::int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// A (time, value) series with summary helpers; used for buffer traces,
+/// windowed throughput, contention-window evolution, etc.
+class TimeSeries {
+public:
+    void add(SimTime t, double value);
+
+    std::size_t size() const { return times_.size(); }
+    bool empty() const { return times_.empty(); }
+    const std::vector<SimTime>& times() const { return times_; }
+    const std::vector<double>& values() const { return values_; }
+
+    /// Mean of values with time >= from and time < to.
+    double mean_between(SimTime from, SimTime to) const;
+    /// Max of values with time >= from and time < to (0 when no samples).
+    double max_between(SimTime from, SimTime to) const;
+    /// Standard deviation of values in [from, to).
+    double stddev_between(SimTime from, SimTime to) const;
+
+private:
+    std::vector<SimTime> times_;
+    std::vector<double> values_;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace ezflow::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Plain-text table formatter used by the benchmark harnesses to print the
+/// rows the paper's tables report. Columns are right-aligned except the
+/// first, which is left-aligned (row label).
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format a double with the given precision.
+    static std::string num(double value, int precision = 1);
+
+    /// Render with column separators and a header rule.
+    std::string to_string() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ezflow::util

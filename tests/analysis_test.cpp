@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "analysis/metrics.h"
+#include "analysis/recorder.h"
+#include "net/topologies.h"
+#include "traffic/source.h"
+
+namespace ezflow::analysis {
+namespace {
+
+using util::kSecond;
+
+// --------------------------------------------------------------- metrics
+
+TEST(Jain, PerfectFairnessIsOne)
+{
+    EXPECT_DOUBLE_EQ(jain_index({100.0, 100.0, 100.0}), 1.0);
+}
+
+TEST(Jain, TotalStarvationIsOneOverN)
+{
+    EXPECT_DOUBLE_EQ(jain_index({100.0, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(jain_index({100.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(Jain, PaperTable2Value)
+{
+    // Table 2: F1 = 7, F2 = 143 kb/s -> FI = 0.55.
+    EXPECT_NEAR(jain_index({7.0, 143.0}), 0.55, 0.005);
+}
+
+TEST(Jain, PaperTable3Value)
+{
+    // Table 3, 802.11 with three flows: 129.9, 31.0, 27.3 -> FI = 0.64.
+    EXPECT_NEAR(jain_index({129.9, 31.0, 27.3}), 0.64, 0.005);
+}
+
+TEST(Jain, AllZeroIsFair)
+{
+    EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(Jain, RejectsBadInput)
+{
+    EXPECT_THROW(jain_index({}), std::invalid_argument);
+    EXPECT_THROW(jain_index({-1.0, 5.0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- recorders
+
+TEST(BufferTracer, SamplesPeriodically)
+{
+    net::Scenario s = net::make_line(2, 100, 3);
+    BufferTracer tracer(*s.network, {1}, kSecond);
+    tracer.start();
+    s.network->run_until(10 * kSecond + 1);
+    EXPECT_EQ(tracer.trace(1).size(), 10u);
+    EXPECT_THROW(tracer.trace(0), std::invalid_argument);
+    EXPECT_THROW(tracer.start(), std::logic_error);
+}
+
+TEST(ThroughputMeter, MeasuresWindowedGoodput)
+{
+    net::Scenario s = net::make_line(1, 100, 3);
+    ThroughputMeter meter(*s.network, 0, kSecond);
+    meter.start();
+    traffic::CbrSource source(*s.network, 0, 1000, 80'000.0);
+    source.activate(0, 20 * kSecond);
+    s.network->run_until(21 * kSecond);
+    EXPECT_NEAR(meter.mean_kbps(2 * kSecond, 20 * kSecond), 80.0, 6.0);
+}
+
+TEST(CwTracer, TracksQueueCwMin)
+{
+    net::Scenario s = net::make_line(2, 100, 3);
+    CwTracer tracer(*s.network, {{0, 1}}, kSecond);
+    tracer.start();
+    traffic::CbrSource source(*s.network, 0, 1000, 50'000.0);
+    source.activate(0, 10 * kSecond);
+    s.network->node(0).mac().set_queue_cw_min(mac::QueueKey{1, true}, 1 << 8);
+    s.network->run_until(10 * kSecond + 1);
+    ASSERT_FALSE(tracer.trace(0).empty());
+    EXPECT_DOUBLE_EQ(tracer.trace(0).values().back(), 256.0);
+}
+
+// ------------------------------------------------------------- experiment
+
+TEST(Experiment, ModeNames)
+{
+    EXPECT_EQ(mode_name(Mode::kBaseline80211), "802.11");
+    EXPECT_EQ(mode_name(Mode::kEzFlow), "EZ-flow");
+    EXPECT_EQ(mode_name(Mode::kPenalty), "penalty-q");
+}
+
+TEST(Experiment, CollectsTransmittersAcrossFlows)
+{
+    ExperimentOptions options;
+    Experiment exp(net::make_testbed(5, 10, 5, 10, 4), options);
+    // F1: N0..N6 transmit; F2 adds N0' (id 8).
+    EXPECT_EQ(exp.transmitting_nodes().size(), 8u);
+}
+
+TEST(Experiment, RunCoversLatestFlowAndDrain)
+{
+    ExperimentOptions options;
+    Experiment exp(net::make_line(2, 30, 4), options);
+    exp.run();
+    EXPECT_GE(exp.network().now(), util::from_seconds(35.0));
+}
+
+TEST(Experiment, SummaryAndFairnessKnownScenario)
+{
+    ExperimentOptions options;
+    options.mode = Mode::kBaseline80211;
+    Experiment exp(net::make_line(2, 60, 4), options);
+    exp.run();
+    const auto summary = exp.summarize(0, 20.0, 60.0);
+    EXPECT_GT(summary.mean_kbps, 100.0);
+    EXPECT_GT(summary.mean_delay_s, 0.0);
+    EXPECT_DOUBLE_EQ(exp.fairness({0}, 20.0, 60.0), 1.0);
+    EXPECT_THROW(exp.summarize(9, 0, 1), std::invalid_argument);
+    EXPECT_THROW(exp.throughput(9), std::invalid_argument);
+    EXPECT_THROW(exp.fairness({9}, 0, 1), std::invalid_argument);
+}
+
+TEST(Experiment, EzFlowModeInstallsAgents)
+{
+    ExperimentOptions options;
+    options.mode = Mode::kEzFlow;
+    Experiment exp(net::make_line(3, 10, 4), options);
+    EXPECT_NE(exp.agent(0), nullptr);
+    EXPECT_NE(exp.agent(2), nullptr);
+    EXPECT_EQ(exp.agent(3), nullptr);  // destination has no agent
+}
+
+TEST(Experiment, BaselineModeHasNoAgents)
+{
+    ExperimentOptions options;
+    Experiment exp(net::make_line(3, 10, 4), options);
+    EXPECT_EQ(exp.agent(0), nullptr);
+}
+
+TEST(Experiment, PenaltyModeSetsStaticWindows)
+{
+    ExperimentOptions options;
+    options.mode = Mode::kPenalty;
+    options.penalty.relay_cw = 1 << 4;
+    options.penalty.q = 1.0 / 16.0;
+    Experiment exp(net::make_line(3, 10, 4), options);
+    auto& net = exp.network();
+    EXPECT_EQ(net.node(0).mac().queue_cw_min(mac::QueueKey{1, true}), 256);
+    EXPECT_EQ(net.node(1).mac().queue_cw_min(mac::QueueKey{2, false}), 16);
+}
+
+TEST(Penalty, RejectsBadConfig)
+{
+    net::Scenario s = net::make_line(2, 10, 4);
+    core::PenaltyConfig bad;
+    bad.q = 0.0;
+    EXPECT_THROW(core::apply_penalty_policy(*s.network, bad), std::invalid_argument);
+    bad = core::PenaltyConfig{};
+    bad.relay_cw = -1;
+    EXPECT_THROW(core::apply_penalty_policy(*s.network, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ezflow::analysis

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "core/boe.h"
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace ezflow::core {
+namespace {
+
+/// Reference model of the successor's FIFO queue, used to check the BOE's
+/// estimates exactly: packets "sent" enter the queue, "forwards" pop it.
+class SuccessorModel {
+public:
+    explicit SuccessorModel(BufferOccupancyEstimator& boe) : boe_(boe) {}
+
+    void send(std::uint16_t checksum)
+    {
+        boe_.on_packet_sent(checksum);
+        queue_.push_back(checksum);
+    }
+
+    /// Successor forwards its head-of-line packet; returns the BOE sample.
+    std::optional<int> forward_and_sniff()
+    {
+        EXPECT_FALSE(queue_.empty());
+        const std::uint16_t checksum = queue_.front();
+        queue_.pop_front();
+        return boe_.on_packet_overheard(checksum);
+    }
+
+    /// Forward without the BOE overhearing it (hidden sniff).
+    void forward_silently() { queue_.pop_front(); }
+
+    int true_backlog() const { return static_cast<int>(queue_.size()); }
+
+private:
+    BufferOccupancyEstimator& boe_;
+    std::deque<std::uint16_t> queue_;
+};
+
+std::uint16_t cks(std::uint64_t seq) { return net::packet_checksum(1, seq, 0, 5, 1000); }
+
+TEST(Boe, ExactEstimateUnderLossFreeSniffing)
+{
+    BufferOccupancyEstimator boe;
+    SuccessorModel successor(boe);
+    // Send 10, forward 4, checking each estimate against ground truth.
+    for (std::uint64_t i = 0; i < 10; ++i) successor.send(cks(i));
+    for (int f = 0; f < 4; ++f) {
+        const auto estimate = successor.forward_and_sniff();
+        ASSERT_TRUE(estimate.has_value());
+        EXPECT_EQ(*estimate, successor.true_backlog());
+    }
+}
+
+TEST(Boe, EstimateZeroWhenSuccessorDrained)
+{
+    BufferOccupancyEstimator boe;
+    SuccessorModel successor(boe);
+    successor.send(cks(0));
+    const auto estimate = successor.forward_and_sniff();
+    ASSERT_TRUE(estimate.has_value());
+    EXPECT_EQ(*estimate, 0);
+}
+
+TEST(Boe, InterleavedSendForwardTracksTruth)
+{
+    BufferOccupancyEstimator boe;
+    SuccessorModel successor(boe);
+    util::Rng rng(7);
+    std::uint64_t next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        if (successor.true_backlog() == 0 || rng.bernoulli(0.55)) {
+            successor.send(cks(next++));
+        } else {
+            const auto estimate = successor.forward_and_sniff();
+            ASSERT_TRUE(estimate.has_value());
+            EXPECT_EQ(*estimate, successor.true_backlog());
+        }
+    }
+}
+
+TEST(Boe, RobustToMissedSniffs)
+{
+    // The paper's key robustness claim (Sec. 3.2): missing overheard
+    // packets only delays samples; the next heard packet still yields the
+    // exact backlog.
+    BufferOccupancyEstimator boe;
+    SuccessorModel successor(boe);
+    util::Rng rng(11);
+    std::uint64_t next = 0;
+    int sampled = 0;
+    for (int step = 0; step < 3000; ++step) {
+        if (successor.true_backlog() == 0 || rng.bernoulli(0.5)) {
+            successor.send(cks(next++));
+        } else if (rng.bernoulli(0.7)) {
+            successor.forward_silently();  // sniff missed
+        } else {
+            const auto estimate = successor.forward_and_sniff();
+            ASSERT_TRUE(estimate.has_value());
+            EXPECT_EQ(*estimate, successor.true_backlog());
+            ++sampled;
+        }
+    }
+    EXPECT_GT(sampled, 100);
+}
+
+TEST(Boe, ResniffOfRetransmittedForwardDoesNotCorruptCursor)
+{
+    BufferOccupancyEstimator boe;
+    SuccessorModel successor(boe);
+    for (std::uint64_t i = 0; i < 6; ++i) successor.send(cks(i));
+    const std::uint16_t first = cks(0);
+    auto est1 = boe.on_packet_overheard(first);
+    successor.forward_silently();
+    ASSERT_TRUE(est1.has_value());
+    EXPECT_EQ(*est1, 5);
+    // The successor retransmits the same frame (its ACK was lost); the
+    // duplicate sniff must not break subsequent estimates.
+    auto est_dup = boe.on_packet_overheard(first);
+    ASSERT_TRUE(est_dup.has_value());
+    const auto est2 = successor.forward_and_sniff();
+    ASSERT_TRUE(est2.has_value());
+    EXPECT_EQ(*est2, successor.true_backlog());
+}
+
+TEST(Boe, UnknownChecksumIsAMiss)
+{
+    BufferOccupancyEstimator boe;
+    boe.on_packet_sent(cks(0));
+    EXPECT_FALSE(boe.on_packet_overheard(0x1234).has_value());
+    EXPECT_EQ(boe.misses(), 1u);
+    EXPECT_EQ(boe.matches(), 0u);
+}
+
+TEST(Boe, EmptyHistoryIsAMiss)
+{
+    BufferOccupancyEstimator boe;
+    EXPECT_FALSE(boe.on_packet_overheard(cks(0)).has_value());
+}
+
+TEST(Boe, HistoryEvictionForgetsOldPackets)
+{
+    BufferOccupancyEstimator boe(100);
+    for (std::uint64_t i = 0; i < 250; ++i) boe.on_packet_sent(cks(i));
+    // Packet 0 has been evicted from the 100-entry ring.
+    EXPECT_FALSE(boe.on_packet_overheard(cks(0)).has_value());
+    // Packet 249 (newest) is present: backlog 0.
+    const auto estimate = boe.on_packet_overheard(cks(249));
+    ASSERT_TRUE(estimate.has_value());
+    EXPECT_EQ(*estimate, 0);
+}
+
+TEST(Boe, PaperHistoryDefaultIs1000)
+{
+    BufferOccupancyEstimator boe;
+    for (std::uint64_t i = 0; i < 1000; ++i) boe.on_packet_sent(cks(i));
+    // Oldest of the 1000 still matches with distance 999.
+    const auto estimate = boe.on_packet_overheard(cks(0));
+    ASSERT_TRUE(estimate.has_value());
+    EXPECT_EQ(*estimate, 999);
+}
+
+TEST(Boe, ChecksumCollisionCausesBoundedError)
+{
+    // Two different packets may share a 16-bit checksum; the cursor rule
+    // (search forward from the oldest unforwarded entry) picks the FIFO-
+    // consistent match, so the estimate error from a collision behind the
+    // cursor stays transient rather than systematic.
+    BufferOccupancyEstimator boe;
+    boe.on_packet_sent(0xAAAA);
+    boe.on_packet_sent(0xBBBB);
+    boe.on_packet_sent(0xAAAA);  // collision with entry 0
+    boe.on_packet_sent(0xCCCC);
+    // Successor forwards entry 0 (0xAAAA): cursor at 0 matches entry 0.
+    auto est = boe.on_packet_overheard(0xAAAA);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(*est, 3);  // entries 1..3 behind it
+    // Next forward 0xBBBB.
+    est = boe.on_packet_overheard(0xBBBB);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(*est, 2);
+    // Next forward the second 0xAAAA: cursor is at 2, matches entry 2.
+    est = boe.on_packet_overheard(0xAAAA);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(*est, 1);
+}
+
+TEST(Boe, CountersTrackActivity)
+{
+    BufferOccupancyEstimator boe;
+    boe.on_packet_sent(cks(0));
+    boe.on_packet_sent(cks(1));
+    boe.on_packet_overheard(cks(0));
+    boe.on_packet_overheard(0x7777);
+    EXPECT_EQ(boe.sent_recorded(), 2u);
+    EXPECT_EQ(boe.matches(), 1u);
+    EXPECT_EQ(boe.misses(), 1u);
+}
+
+// Property sweep: for random workloads and any history size, a sniffed
+// estimate always equals the true backlog when checksums are unique.
+class BoeProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoeProperty, EstimateMatchesTruthUnderRandomWorkload)
+{
+    const auto [history, seed] = GetParam();
+    BufferOccupancyEstimator boe(static_cast<std::size_t>(history));
+    SuccessorModel successor(boe);
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    std::uint64_t next = 0;
+    for (int step = 0; step < 1500; ++step) {
+        const bool can_forward = successor.true_backlog() > 0;
+        // Keep backlog below history so entries are never evicted
+        // (eviction behaviour is covered separately).
+        const bool must_forward = successor.true_backlog() >= history - 1;
+        if (!can_forward || (!must_forward && rng.bernoulli(0.5))) {
+            successor.send(static_cast<std::uint16_t>(next++));  // unique ids
+        } else if (rng.bernoulli(0.4)) {
+            successor.forward_silently();
+        } else {
+            const auto estimate = successor.forward_and_sniff();
+            ASSERT_TRUE(estimate.has_value());
+            EXPECT_EQ(*estimate, successor.true_backlog());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoeProperty,
+                         ::testing::Combine(::testing::Values(64, 256, 1000),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+}  // namespace
+}  // namespace ezflow::core

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/caa.h"
+
+namespace ezflow::core {
+namespace {
+
+/// Harness recording every cw the CAA applies.
+struct CaaBed {
+    std::vector<int> applied;
+    ChannelAccessAdaptation caa;
+
+    explicit CaaBed(CaaConfig config = {})
+        : caa(config, [this](int cw) { applied.push_back(cw); })
+    {
+    }
+
+    /// Feed one full decision window of identical samples.
+    void window(int occupancy)
+    {
+        for (int i = 0; i < caa.config().sample_window; ++i) caa.on_sample(occupancy);
+    }
+};
+
+TEST(Caa, AppliesInitialCwOnConstruction)
+{
+    CaaBed bed;
+    ASSERT_EQ(bed.applied.size(), 1u);
+    EXPECT_EQ(bed.applied[0], 1 << 4);
+}
+
+TEST(Caa, NoDecisionBeforeFullWindow)
+{
+    CaaBed bed;
+    for (int i = 0; i < bed.caa.config().sample_window - 1; ++i) bed.caa.on_sample(100);
+    EXPECT_EQ(bed.caa.decisions(), 0u);
+    bed.caa.on_sample(100);
+    EXPECT_EQ(bed.caa.decisions(), 1u);
+}
+
+TEST(Caa, OverUtilizationNeedsLog2CwConsecutiveWindows)
+{
+    // At cw = 16, log2(cw) = 4 consecutive over-threshold windows double
+    // the window; the counter then resets.
+    CaaBed bed;
+    for (int w = 0; w < 3; ++w) {
+        bed.window(30);
+        EXPECT_EQ(bed.caa.cw(), 16) << "window " << w;
+    }
+    EXPECT_EQ(bed.caa.countup(), 3);
+    bed.window(30);
+    EXPECT_EQ(bed.caa.cw(), 32);
+    EXPECT_EQ(bed.caa.countup(), 0);
+}
+
+TEST(Caa, HigherCwReactsSlowerToOverUtilization)
+{
+    // From cw = 32 (log2 = 5), five windows are needed for the next
+    // doubling — the fairness asymmetry of Algorithm 1.
+    CaaBed bed;
+    for (int w = 0; w < 4; ++w) bed.window(30);  // 16 -> 32
+    ASSERT_EQ(bed.caa.cw(), 32);
+    for (int w = 0; w < 4; ++w) bed.window(30);
+    EXPECT_EQ(bed.caa.cw(), 32) << "needs 5 windows at cw=32";
+    bed.window(30);
+    EXPECT_EQ(bed.caa.cw(), 64);
+}
+
+TEST(Caa, UnderUtilizationNeedsCountBaseMinusLog2Windows)
+{
+    // Drive cw up to 64 first, then drain: at cw = 64 (log2 = 6),
+    // 15 - 6 = 9 consecutive empty windows halve it.
+    CaaBed bed;
+    for (int w = 0; w < 4 + 5; ++w) bed.window(30);
+    ASSERT_EQ(bed.caa.cw(), 64);
+    for (int w = 0; w < 8; ++w) {
+        bed.window(0);
+        EXPECT_EQ(bed.caa.cw(), 64) << "window " << w;
+    }
+    bed.window(0);
+    EXPECT_EQ(bed.caa.cw(), 32);
+    EXPECT_EQ(bed.caa.countdown(), 0);
+}
+
+TEST(Caa, HighCwReactsFasterToUnderUtilization)
+{
+    // The countdown threshold shrinks as cw grows: at cw = 2^10 only
+    // 15 - 10 = 5 empty windows are needed.
+    CaaConfig config;
+    config.initial_cw = 1 << 10;
+    CaaBed bed(config);
+    for (int w = 0; w < 4; ++w) {
+        bed.window(0);
+        EXPECT_EQ(bed.caa.cw(), 1 << 10);
+    }
+    bed.window(0);
+    EXPECT_EQ(bed.caa.cw(), 1 << 9);
+}
+
+TEST(Caa, MiddleBandResetsBothCounters)
+{
+    CaaBed bed;
+    bed.window(30);
+    bed.window(30);
+    EXPECT_EQ(bed.caa.countup(), 2);
+    bed.window(5);  // bmin < 5 < bmax: healthy
+    EXPECT_EQ(bed.caa.countup(), 0);
+    EXPECT_EQ(bed.caa.countdown(), 0);
+    EXPECT_EQ(bed.caa.cw(), 16);
+}
+
+TEST(Caa, AlternatingSignalsNeverAdapt)
+{
+    // Hysteresis: alternating over/under windows keep resetting the
+    // opposite counter; cw never moves.
+    CaaBed bed;
+    for (int w = 0; w < 20; ++w) bed.window(w % 2 == 0 ? 30 : 0);
+    EXPECT_EQ(bed.caa.cw(), 16);
+}
+
+TEST(Caa, ClampsAtMaxCw)
+{
+    CaaConfig config;
+    config.max_cw = 1 << 6;
+    CaaBed bed(config);
+    for (int w = 0; w < 200; ++w) bed.window(30);
+    EXPECT_EQ(bed.caa.cw(), 1 << 6);
+}
+
+TEST(Caa, ClampsAtMinCw)
+{
+    CaaBed bed;
+    for (int w = 0; w < 300; ++w) bed.window(0);
+    EXPECT_EQ(bed.caa.cw(), bed.caa.config().min_cw);
+}
+
+TEST(Caa, TestbedHardwareCapAt2Pow10)
+{
+    // The MadWifi driver ignored CWmin above 2^10; modelled as max_cw.
+    CaaConfig config;
+    config.max_cw = 1 << 10;
+    CaaBed bed(config);
+    for (int w = 0; w < 400; ++w) bed.window(50);
+    EXPECT_EQ(bed.caa.cw(), 1 << 10);
+}
+
+TEST(Caa, BminIsFractional)
+{
+    // bmin = 0.05: a single non-zero sample in a 50-sample window pushes
+    // the average to 0.02 < bmin only if the other 49 are zero and the
+    // one sample is 1 -> 1/50 = 0.02 < 0.05: still "empty". Two such
+    // samples (0.04) remain under; three (0.06) do not.
+    CaaConfig config;
+    config.initial_cw = 1 << 5;
+    CaaBed bed(config);
+    auto feed = [&](int nonzero) {
+        for (int i = 0; i < bed.caa.config().sample_window; ++i)
+            bed.caa.on_sample(i < nonzero ? 1 : 0);
+    };
+    const int before = bed.caa.countdown();
+    feed(2);
+    EXPECT_EQ(bed.caa.countdown(), before + 1) << "avg 0.04 < bmin";
+    feed(3);
+    EXPECT_EQ(bed.caa.countdown(), 0) << "avg 0.06 >= bmin resets";
+}
+
+TEST(Caa, AppliesCwThroughCallbackExactlyOnChanges)
+{
+    CaaBed bed;
+    for (int w = 0; w < 4; ++w) bed.window(30);
+    for (int w = 0; w < 5; ++w) bed.window(30);
+    // initial 16, then 32, then 64.
+    EXPECT_EQ(bed.applied, (std::vector<int>{16, 32, 64}));
+}
+
+TEST(Caa, RejectsInvalidConfig)
+{
+    CaaConfig bad;
+    bad.min_cw = 20;  // not a power of two
+    EXPECT_THROW(ChannelAccessAdaptation(bad, nullptr), std::invalid_argument);
+    bad = CaaConfig{};
+    bad.initial_cw = 1 << 20;  // above max
+    EXPECT_THROW(ChannelAccessAdaptation(bad, nullptr), std::invalid_argument);
+    bad = CaaConfig{};
+    bad.bmin = 30.0;
+    bad.bmax = 20.0;
+    EXPECT_THROW(ChannelAccessAdaptation(bad, nullptr), std::invalid_argument);
+    bad = CaaConfig{};
+    bad.sample_window = 0;
+    EXPECT_THROW(ChannelAccessAdaptation(bad, nullptr), std::invalid_argument);
+}
+
+TEST(Caa, RejectsNegativeSample)
+{
+    CaaBed bed;
+    EXPECT_THROW(bed.caa.on_sample(-1), std::invalid_argument);
+}
+
+TEST(Caa, Log2Exact)
+{
+    EXPECT_EQ(ChannelAccessAdaptation::log2_exact(1), 0);
+    EXPECT_EQ(ChannelAccessAdaptation::log2_exact(16), 4);
+    EXPECT_EQ(ChannelAccessAdaptation::log2_exact(1 << 15), 15);
+    EXPECT_THROW(ChannelAccessAdaptation::log2_exact(24), std::invalid_argument);
+    EXPECT_THROW(ChannelAccessAdaptation::log2_exact(0), std::invalid_argument);
+}
+
+// Property sweep: from any initial power-of-two cw, sustained congestion
+// drives cw to max_cw and sustained idleness back to min_cw, and cw is a
+// power of two throughout (the hardware constraint Sec. 3.3 cites).
+class CaaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaaProperty, SaturationAndDrainReachBounds)
+{
+    CaaConfig config;
+    config.initial_cw = 1 << GetParam();
+    CaaBed bed(config);
+    for (int w = 0; w < 300; ++w) {
+        bed.window(25);
+        const int cw = bed.caa.cw();
+        EXPECT_EQ(cw & (cw - 1), 0) << "cw must stay a power of two";
+    }
+    EXPECT_EQ(bed.caa.cw(), config.max_cw);
+    for (int w = 0; w < 300; ++w) bed.window(0);
+    EXPECT_EQ(bed.caa.cw(), config.min_cw);
+}
+
+INSTANTIATE_TEST_SUITE_P(InitialCwSweep, CaaProperty, ::testing::Values(4, 6, 8, 10, 12, 15));
+
+}  // namespace
+}  // namespace ezflow::core

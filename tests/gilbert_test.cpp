@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+#include "net/topologies.h"
+#include "traffic/sink.h"
+#include "traffic/source.h"
+
+// Gilbert–Elliott bursty-loss channel tests: the substrate behind the
+// paper's "variability of the wireless channel" robustness discussion
+// (§3.2). Losses arrive in bursts (bad state) separated by clean periods,
+// unlike the independent per-frame losses of the Table 1 calibration.
+namespace ezflow::phy {
+namespace {
+
+using util::kSecond;
+
+TEST(Gilbert, StationaryLossFormula)
+{
+    Channel::GilbertParams params;
+    params.to_bad_per_s = 1.0;
+    params.to_good_per_s = 3.0;
+    params.loss_good = 0.0;
+    params.loss_bad = 0.8;
+    // pi_bad = 1/4 -> stationary loss 0.2.
+    EXPECT_DOUBLE_EQ(Channel::gilbert_stationary_loss(params), 0.2);
+}
+
+TEST(Gilbert, RejectsBadParams)
+{
+    net::Scenario s = net::make_line(1, 10, 3);
+    Channel::GilbertParams params;
+    params.to_bad_per_s = 0.0;
+    EXPECT_THROW(s.network->channel().set_link_gilbert(0, 1, params), std::invalid_argument);
+    params = Channel::GilbertParams{};
+    params.loss_bad = 1.5;
+    EXPECT_THROW(s.network->channel().set_link_gilbert(0, 1, params), std::invalid_argument);
+}
+
+TEST(Gilbert, LongRunLossMatchesStationary)
+{
+    // Saturate a 1-hop link with a bursty loss process and compare the
+    // delivered fraction (per attempt) against the stationary loss.
+    net::Scenario s = net::make_line(1, 400, 5);
+    net::Network& network = *s.network;
+    Channel::GilbertParams params;
+    params.to_bad_per_s = 0.5;
+    params.to_good_per_s = 1.5;
+    params.loss_good = 0.0;
+    params.loss_bad = 1.0;  // bad state kills everything
+    network.channel().set_link_gilbert(0, 1, params);
+    traffic::Sink sink(network);
+    sink.attach_flow(0);
+    traffic::CbrSource source(network, 0, 1000, 2e6);
+    source.activate(0, 300 * kSecond);
+    network.run_until(300 * kSecond);
+    const auto& mac = network.node(0).mac();
+    const double per_attempt_loss = 1.0 - static_cast<double>(mac.successes() + mac.retry_drops()) /
+                                              // successes need 1 clean data + 1 clean... the ACK
+                                              // direction is loss-free here, so attempts fail only
+                                              // on the data roll.
+                                              static_cast<double>(mac.data_attempts());
+    (void)per_attempt_loss;
+    // pi_bad = 0.25 -> about a quarter of attempts fall in bad bursts.
+    const double expected = Channel::gilbert_stationary_loss(params);
+    const double measured = static_cast<double>(mac.retransmissions() + mac.retry_drops()) /
+                            static_cast<double>(mac.data_attempts());
+    EXPECT_NEAR(measured, expected, 0.08);
+}
+
+TEST(Gilbert, LossesAreBursty)
+{
+    // With slow state flips, consecutive frames share the state: compare
+    // observed burstiness against an independent-loss link of the same
+    // average rate by counting retransmission "runs" at the MAC.
+    auto consecutive_failure_ratio = [](bool bursty, std::uint64_t seed) {
+        net::Scenario s = net::make_line(1, 200, seed);
+        net::Network& network = *s.network;
+        if (bursty) {
+            Channel::GilbertParams params;
+            params.to_bad_per_s = 0.25;
+            params.to_good_per_s = 0.75;
+            params.loss_good = 0.0;
+            params.loss_bad = 1.0;  // stationary 0.25
+            network.channel().set_link_gilbert(0, 1, params);
+        } else {
+            network.channel().set_link_loss(0, 1, 0.25);
+        }
+        traffic::Sink sink(network);
+        sink.attach_flow(0);
+        traffic::CbrSource source(network, 0, 1000, 2e6);
+        source.activate(0, 150 * kSecond);
+        network.run_until(150 * kSecond);
+        // Bursty links exhaust retries (8 straight losses) often;
+        // independent 25% loss almost never does (0.25^8 ~ 1.5e-5).
+        const auto& mac = network.node(0).mac();
+        return static_cast<double>(mac.retry_drops()) /
+               static_cast<double>(mac.successes() + mac.retry_drops());
+    };
+    EXPECT_GT(consecutive_failure_ratio(true, 7), 50 * consecutive_failure_ratio(false, 7) + 0.001);
+}
+
+TEST(Gilbert, EzFlowStillStabilizesUnderBurstyLoss)
+{
+    // The robustness claim end-to-end: a bursty middle link on the 4-hop
+    // chain (losing sniffs and data alike in bursts) does not break the
+    // stabilization.
+    analysis::ExperimentOptions options;
+    options.mode = analysis::Mode::kEzFlow;
+    analysis::Experiment exp(net::make_line(4, 400.0, 6), options);
+    Channel::GilbertParams params;
+    params.to_bad_per_s = 0.2;
+    params.to_good_per_s = 1.8;
+    params.loss_good = 0.0;
+    params.loss_bad = 0.9;
+    exp.network().channel().set_link_gilbert(1, 2, params);
+    exp.run();
+    const double b1 =
+        exp.buffers().mean_occupancy(1, util::from_seconds(250), util::from_seconds(400));
+    // The bursty link makes N1's service worse, so some backlog is
+    // expected — but EZ-Flow must keep it off the 50-packet cap and keep
+    // traffic flowing.
+    EXPECT_LT(b1, 40.0);
+    EXPECT_GT(exp.summarize(0, 250, 400).mean_kbps, 50.0);
+}
+
+}  // namespace
+}  // namespace ezflow::phy

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "model/lyapunov.h"
+#include "model/region.h"
+#include "model/table4.h"
+#include "model/walk.h"
+
+namespace ezflow::model {
+namespace {
+
+// --------------------------------------------------------------- regions
+
+TEST(Region, IndexIsBitmaskOfNonEmptyBuffers)
+{
+    EXPECT_EQ(region_index({0, 0, 0}), kRegionA);
+    EXPECT_EQ(region_index({5, 0, 0}), kRegionB);
+    EXPECT_EQ(region_index({0, 2, 0}), kRegionC);
+    EXPECT_EQ(region_index({0, 0, 9}), kRegionD);
+    EXPECT_EQ(region_index({1, 1, 0}), kRegionE);
+    EXPECT_EQ(region_index({1, 0, 1}), kRegionF);
+    EXPECT_EQ(region_index({0, 1, 1}), kRegionG);
+    EXPECT_EQ(region_index({3, 3, 3}), kRegionH);
+}
+
+TEST(Region, NamesMatchPaperLettering)
+{
+    EXPECT_EQ(region_name(kRegionA, 3), "A");
+    EXPECT_EQ(region_name(kRegionB, 3), "B");
+    EXPECT_EQ(region_name(kRegionC, 3), "C");
+    EXPECT_EQ(region_name(kRegionD, 3), "D");
+    EXPECT_EQ(region_name(kRegionE, 3), "E");
+    EXPECT_EQ(region_name(kRegionF, 3), "F");
+    EXPECT_EQ(region_name(kRegionG, 3), "G");
+    EXPECT_EQ(region_name(kRegionH, 3), "H");
+}
+
+TEST(Region, GeneralKUsesBitstrings)
+{
+    EXPECT_EQ(region_name(0b1011, 4), "1101");  // bit i printed at position i
+}
+
+TEST(Region, Validation)
+{
+    EXPECT_THROW(region_index({}), std::invalid_argument);
+    EXPECT_THROW(region_index({-1, 0, 0}), std::invalid_argument);
+    EXPECT_THROW(region_name(8, 3), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- table 4
+
+std::map<std::string, double> distribution_as_map(int region, const std::vector<double>& cw)
+{
+    std::map<std::string, double> out;
+    for (const Pattern& p : table4_distribution(region, cw)) {
+        std::string key;
+        for (int z : p.z) key += static_cast<char>('0' + z);
+        out[key] += p.probability;
+    }
+    return out;
+}
+
+TEST(Table4, RegionADeterministic)
+{
+    const auto dist = distribution_as_map(kRegionA, {16, 16, 16, 16});
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_DOUBLE_EQ(dist.at("1000"), 1.0);
+}
+
+TEST(Table4, RegionBSplitsByWindows)
+{
+    // P([1,0,0,0]) = cw1 / (cw0 + cw1).
+    const auto dist = distribution_as_map(kRegionB, {32, 16, 16, 16});
+    EXPECT_DOUBLE_EQ(dist.at("1000"), 16.0 / 48.0);
+    EXPECT_DOUBLE_EQ(dist.at("0100"), 32.0 / 48.0);
+}
+
+TEST(Table4, RegionCDeterministicLink2)
+{
+    const auto dist = distribution_as_map(kRegionC, {16, 99, 7, 3});
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_DOUBLE_EQ(dist.at("0010"), 1.0);
+}
+
+TEST(Table4, RegionDSpatialReuse)
+{
+    const auto dist = distribution_as_map(kRegionD, {16, 16, 16, 16});
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_DOUBLE_EQ(dist.at("1001"), 1.0);
+}
+
+TEST(Table4, RegionEMatchesPaperExpression)
+{
+    // P([0,1,0,0]) = cw0*cw2 / sum_{i in {0,1,2}} prod_{j != i} cwj.
+    const std::vector<double> cw = {16, 64, 32, 8};
+    const double denom = 64 * 32 + 16 * 32 + 16 * 64;  // i = 0, 1, 2
+    const auto dist = distribution_as_map(kRegionE, cw);
+    EXPECT_NEAR(dist.at("0100"), 16 * 32 / denom, 1e-12);
+    EXPECT_NEAR(dist.at("0010"), 1.0 - 16 * 32 / denom, 1e-12);
+}
+
+TEST(Table4, RegionFMatchesPaperExpression)
+{
+    const std::vector<double> cw = {16, 64, 32, 128};
+    const double cw0 = cw[0], cw1 = cw[1], cw3 = cw[3];
+    const double denom = cw1 * cw3 + cw0 * cw3 + cw0 * cw1;
+    const double p_0and3 = cw1 * cw3 / denom + (cw0 * cw1 / denom) * (cw1 / (cw0 + cw1));
+    const auto dist = distribution_as_map(kRegionF, cw);
+    EXPECT_NEAR(dist.at("1001"), p_0and3, 1e-12);
+    EXPECT_NEAR(dist.at("0001"), 1.0 - p_0and3, 1e-12);
+}
+
+TEST(Table4, RegionGMatchesPaperExpression)
+{
+    const std::vector<double> cw = {16, 64, 32, 128};
+    const double cw0 = cw[0], cw2 = cw[2], cw3 = cw[3];
+    const double denom = cw2 * cw3 + cw0 * cw3 + cw0 * cw2;
+    const double p_link2 = cw0 * cw3 / denom + (cw2 * cw3 / denom) * (cw3 / (cw2 + cw3));
+    const auto dist = distribution_as_map(kRegionG, cw);
+    EXPECT_NEAR(dist.at("0010"), p_link2, 1e-12);
+    EXPECT_NEAR(dist.at("1001"), 1.0 - p_link2, 1e-12);
+}
+
+TEST(Table4, RegionHMatchesPaperExpression)
+{
+    const std::vector<double> cw = {16, 64, 32, 128};
+    const double cw0 = cw[0], cw1 = cw[1], cw2 = cw[2], cw3 = cw[3];
+    const double denom = cw1 * cw2 * cw3 + cw0 * cw2 * cw3 + cw0 * cw1 * cw3 + cw0 * cw1 * cw2;
+    const double p_link2 =
+        cw0 * cw1 * cw3 / denom + (cw1 * cw2 * cw3 / denom) * (cw3 / (cw2 + cw3));
+    const double p_link3 =
+        cw0 * cw2 * cw3 / denom + (cw0 * cw1 * cw2 / denom) * (cw0 / (cw0 + cw1));
+    const auto dist = distribution_as_map(kRegionH, cw);
+    EXPECT_NEAR(dist.at("0010"), p_link2, 1e-12);
+    EXPECT_NEAR(dist.at("0001"), p_link3, 1e-12);
+    EXPECT_NEAR(dist.at("1001"), 1.0 - p_link2 - p_link3, 1e-12);
+}
+
+TEST(Table4, AllRegionsSumToOne)
+{
+    const std::vector<double> cw = {16, 1024, 64, 32768};
+    for (int region = 0; region < 8; ++region) {
+        double total = 0.0;
+        for (const Pattern& p : table4_distribution(region, cw)) {
+            EXPECT_GE(p.probability, 0.0);
+            total += p.probability;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-12) << "region " << region_name(region, 3);
+    }
+}
+
+TEST(Table4, Validation)
+{
+    EXPECT_THROW(table4_distribution(0, {1, 2, 3}), std::invalid_argument);
+    EXPECT_THROW(table4_distribution(0, {1, 2, 3, 0}), std::invalid_argument);
+    EXPECT_THROW(table4_distribution(9, {1, 2, 3, 4}), std::invalid_argument);
+}
+
+// ---------------------------------------------------- walk vs closed form
+
+/// Monte-Carlo check: the generative sampler's pattern frequencies match
+/// the Table 4 closed forms for every region and several window vectors.
+class WalkVsTable4 : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WalkVsTable4, SamplerMatchesClosedForm)
+{
+    const auto [region, cw_case] = GetParam();
+    static const std::vector<std::vector<double>> kCwCases = {
+        {16, 16, 16, 16},
+        {16, 64, 32, 128},
+        {1024, 16, 16, 16},
+        {16, 16, 1024, 16},
+    };
+    const std::vector<double>& cw = kCwCases[static_cast<std::size_t>(cw_case)];
+
+    BufferVector relays = {0, 0, 0};
+    for (int i = 0; i < 3; ++i)
+        if (region & (1 << i)) relays[static_cast<std::size_t>(i)] = 10;
+
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    RandomWalkModel walk(config, util::Rng(1234 + region * 7 + cw_case));
+
+    std::map<std::string, int> counts;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        std::string key;
+        for (int z : walk.sample_pattern(relays, cw)) key += static_cast<char>('0' + z);
+        ++counts[key];
+    }
+
+    const auto expected = distribution_as_map(region, cw);
+    // Every observed pattern must be predicted, and vice versa (within
+    // Monte-Carlo noise ~3 sigma).
+    for (const auto& [pattern, probability] : expected) {
+        const double observed = counts.count(pattern) ? counts[pattern] / double(n) : 0.0;
+        const double sigma = std::sqrt(probability * (1 - probability) / n);
+        EXPECT_NEAR(observed, probability, std::max(5 * sigma, 0.004))
+            << "region " << region_name(region, 3) << " pattern " << pattern;
+    }
+    for (const auto& [pattern, count] : counts) {
+        EXPECT_TRUE(expected.count(pattern) > 0)
+            << "sampler produced unpredicted pattern " << pattern << " (" << count << "x)"
+            << " in region " << region_name(region, 3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegions, WalkVsTable4,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 4)));
+
+// ------------------------------------------------------------------ walk
+
+TEST(Walk, BufferUpdateFollowsEq3)
+{
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = false;
+    RandomWalkModel walk(config, util::Rng(5));
+    walk.set_relays({3, 2, 1});
+    const BufferVector before = walk.relays();
+    const std::vector<int> z = walk.step();
+    const BufferVector& after = walk.relays();
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(after[i - 1], before[i - 1] + z[i - 1] - z[i]) << "relay " << i;
+}
+
+TEST(Walk, DeliveredCountsLastLink)
+{
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    RandomWalkModel walk(config, util::Rng(5));
+    walk.run(5000);
+    EXPECT_GT(walk.delivered(), 0u);
+}
+
+TEST(Walk, SourceAlwaysContends)
+{
+    // From the all-empty state the only possible pattern is [1,0,0,0].
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = false;
+    RandomWalkModel walk(config, util::Rng(5));
+    const std::vector<int> z = walk.step();
+    EXPECT_EQ(z, (std::vector<int>{1, 0, 0, 0}));
+    EXPECT_EQ(walk.relays()[0], 1);
+}
+
+TEST(Walk, FixedEqualWindowsDivergeAtFourHops)
+{
+    // The [9] instability result in model form: with fixed equal windows
+    // the 4-hop chain's total backlog grows without bound.
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = false;
+    config.initial_cw = {32, 32, 32, 32};
+    RandomWalkModel walk(config, util::Rng(6));
+    walk.run(200000);
+    EXPECT_GT(walk.total_backlog(), 2000);
+}
+
+TEST(Walk, EzFlowKeepsFourHopBacklogBounded)
+{
+    // Theorem 1 in empirical form: with EZ-Flow dynamics the same walk
+    // stays near the origin.
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = true;
+    RandomWalkModel walk(config, util::Rng(6));
+    long long max_backlog = 0;
+    for (int i = 0; i < 200000; ++i) {
+        walk.step();
+        max_backlog = std::max(max_backlog, walk.total_backlog());
+    }
+    EXPECT_LT(max_backlog, 500);
+    EXPECT_LT(walk.total_backlog(), 200);
+}
+
+TEST(Walk, EzFlowBoundedForLongerChains)
+{
+    // The paper extends Theorem 1 to general K; check K = 5, 6 empirically.
+    for (int hops : {5, 6}) {
+        RandomWalkModel::Config config;
+        config.hops = hops;
+        config.ezflow_enabled = true;
+        RandomWalkModel walk(config, util::Rng(60 + hops));
+        walk.run(150000);
+        EXPECT_LT(walk.total_backlog(), 500) << hops << " hops";
+    }
+}
+
+TEST(Walk, CaaDynamicsFollowEq2)
+{
+    // One relay far above bmax: its predecessor's window doubles each
+    // slot (clamped); windows of nodes with empty successors halve down
+    // to min_cw. (CAA reacts to the post-update buffers; in region B the
+    // pattern never touches b3, so cw2 and cw3 see empty successors.)
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.initial_cw = {64, 64, 64, 64};
+    RandomWalkModel walk(config, util::Rng(7));
+    walk.set_relays({30, 0, 0});  // b1 = 30 > bmax
+    walk.step();
+    EXPECT_EQ(walk.cw()[0], 128);  // doubled toward congested b1
+    EXPECT_EQ(walk.cw()[2], 32);   // b3 stayed empty: halved
+    EXPECT_EQ(walk.cw()[3], 32);   // destination always empty: halved
+}
+
+TEST(Walk, CwClampedToBounds)
+{
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.caa.min_cw = 16;
+    config.caa.max_cw = 256;
+    config.initial_cw = {256, 16, 16, 16};
+    RandomWalkModel walk(config, util::Rng(7));
+    walk.set_relays({50, 0, 0});
+    for (int i = 0; i < 20; ++i) walk.step();
+    EXPECT_LE(walk.cw()[0], 256);
+    EXPECT_GE(walk.cw()[3], 16);
+}
+
+TEST(Walk, Validation)
+{
+    RandomWalkModel::Config config;
+    config.hops = 1;
+    EXPECT_THROW(RandomWalkModel(config, util::Rng(1)), std::invalid_argument);
+    config.hops = 4;
+    config.initial_cw = {16, 16};
+    EXPECT_THROW(RandomWalkModel(config, util::Rng(1)), std::invalid_argument);
+    config.initial_cw.clear();
+    RandomWalkModel walk(config, util::Rng(1));
+    EXPECT_THROW(walk.set_relays({1, 2}), std::invalid_argument);
+    EXPECT_THROW(walk.set_relays({-1, 0, 0}), std::invalid_argument);
+    EXPECT_THROW(walk.set_cw({0, 1, 1, 1}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- lyapunov
+
+TEST(Lyapunov, PaperHorizons)
+{
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionF), 1);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionH), 1);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionD), 2);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionE), 2);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionG), 3);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionC), 4);
+    EXPECT_EQ(LyapunovEstimator::paper_horizon(kRegionB), 25);
+    EXPECT_THROW(LyapunovEstimator::paper_horizon(kRegionA), std::invalid_argument);
+}
+
+TEST(Lyapunov, DriftNegativeOutsideSUnderEzFlow)
+{
+    // Theorem 1's condition (6), checked by Monte-Carlo: in every region
+    // far from the origin, the expected k-step change of h(b) = sum b_i
+    // is negative once the windows reflect EZ-Flow's stable pattern
+    // (source throttled, relays aggressive).
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = true;
+    LyapunovEstimator estimator(config, {1 << 9, 1 << 4, 1 << 4, 1 << 4}, util::Rng(99));
+    const long long big = 60;  // deep inside each region
+    const std::map<int, BufferVector> states = {
+        {kRegionB, {big, 0, 0}}, {kRegionC, {0, big, 0}},   {kRegionD, {0, 0, big}},
+        {kRegionE, {big, big, 0}}, {kRegionF, {big, 0, big}}, {kRegionG, {0, big, big}},
+        {kRegionH, {big, big, big}},
+    };
+    for (const auto& [region, relays] : states) {
+        const int horizon = LyapunovEstimator::paper_horizon(region);
+        const auto drift = estimator.estimate(relays, horizon, 4000);
+        EXPECT_LT(drift.mean_drift + 2 * drift.stderr_drift, 0.1)
+            << "region " << region_name(region, 3);
+    }
+}
+
+TEST(Lyapunov, FixedEqualWindowsHavePositiveDriftSomewhere)
+{
+    // Contrast: without EZ-Flow (equal windows) region B pumps h upward:
+    // the source wins with probability 1/2 (injection, dh = +1) while the
+    // alternative only shifts backlog downstream (dh = 0). This is the
+    // signature of the 4-hop instability.
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    config.ezflow_enabled = false;
+    LyapunovEstimator estimator(config, {32, 32, 32, 32}, util::Rng(99));
+    const auto drift_b = estimator.estimate({40, 0, 0}, 1, 4000);
+    EXPECT_NEAR(drift_b.mean_drift, 0.5, 0.05) << "region B injects without draining";
+    // Region D converts drained b3 into trapped b1 (dh = 0): the source
+    // free-rides the far link's spatial reuse.
+    const auto drift_d = estimator.estimate({0, 0, 40}, 1, 4000);
+    EXPECT_NEAR(drift_d.mean_drift, 0.0, 0.05);
+}
+
+TEST(Lyapunov, Validation)
+{
+    RandomWalkModel::Config config;
+    config.hops = 4;
+    LyapunovEstimator estimator(config, {16, 16, 16, 16}, util::Rng(1));
+    EXPECT_THROW(estimator.estimate({1, 1, 1}, 0, 10), std::invalid_argument);
+    EXPECT_THROW(estimator.estimate({1, 1, 1}, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ezflow::model

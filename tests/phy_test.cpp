@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/channel.h"
+#include "phy/frame.h"
+#include "phy/geometry.h"
+#include "phy/phy.h"
+#include "phy/propagation.h"
+#include "sim/scheduler.h"
+
+namespace ezflow::phy {
+namespace {
+
+// ------------------------------------------------------------- geometry
+
+TEST(Geometry, DistanceEuclidean)
+{
+    EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------- propagation
+
+TEST(Propagation, FreeSpaceFollowsInverseSquare)
+{
+    FreeSpace model(0.328);  // ~914 MHz
+    const double p100 = model.rx_power_w(0.28, 100.0);
+    const double p200 = model.rx_power_w(0.28, 200.0);
+    EXPECT_NEAR(p100 / p200, 4.0, 1e-9);
+}
+
+TEST(Propagation, TwoRayFollowsInverseFourthBeyondCrossover)
+{
+    const double lambda = Ns2DefaultPhy::kSpeedOfLight / Ns2DefaultPhy::kFrequencyHz;
+    TwoRayGround model(lambda, Ns2DefaultPhy::kAntennaHeightM);
+    const double cross = model.crossover_distance_m();
+    const double p1 = model.rx_power_w(0.28, cross * 2.0);
+    const double p2 = model.rx_power_w(0.28, cross * 4.0);
+    EXPECT_NEAR(p1 / p2, 16.0, 1e-9);
+}
+
+TEST(Propagation, Ns2ThresholdsYieldPaperRanges)
+{
+    // The 250 m delivery / 550 m carrier-sense ranges the paper quotes are
+    // the ns-2 defaults; verify our two-ray model reproduces them from the
+    // raw PHY constants.
+    const double lambda = Ns2DefaultPhy::kSpeedOfLight / Ns2DefaultPhy::kFrequencyHz;
+    TwoRayGround model(lambda, Ns2DefaultPhy::kAntennaHeightM);
+    const double rx_range =
+        model.range_for_threshold(Ns2DefaultPhy::kTxPowerW, Ns2DefaultPhy::kRxThresholdW);
+    const double cs_range =
+        model.range_for_threshold(Ns2DefaultPhy::kTxPowerW, Ns2DefaultPhy::kCsThresholdW);
+    EXPECT_NEAR(rx_range, 250.0, 10.0);
+    EXPECT_NEAR(cs_range, 550.0, 15.0);
+}
+
+TEST(Propagation, RangeForThresholdRejectsBadThreshold)
+{
+    FreeSpace model(0.328);
+    EXPECT_THROW(model.range_for_threshold(0.28, 0.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- PHY params
+
+TEST(PhyParams, DataFrameAirtime)
+{
+    PhyParams params;
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.has_packet = true;
+    frame.packet.bytes = 1000;
+    // 192 us PLCP + (1000 + 36) * 8 bits at 1 Mb/s.
+    EXPECT_EQ(params.tx_duration(frame), 192 + 8288);
+}
+
+TEST(PhyParams, AckFrameAirtime)
+{
+    PhyParams params;
+    Frame ack;
+    ack.type = FrameType::kAck;
+    EXPECT_EQ(params.tx_duration(ack), 192 + 112);
+}
+
+// -------------------------------------------------- channel and NodePhy
+
+/// Records everything the PHY reports, for assertions.
+class RecordingListener final : public PhyListener {
+public:
+    std::vector<bool> busy_transitions;
+    std::vector<Frame> decoded;
+    std::vector<Frame> tx_done;
+
+    void phy_busy_changed(bool busy) override { busy_transitions.push_back(busy); }
+    void phy_frame_decoded(const Frame& frame) override { decoded.push_back(frame); }
+    void phy_tx_done(const Frame& frame) override { tx_done.push_back(frame); }
+};
+
+struct TestBed {
+    sim::Scheduler scheduler;
+    PhyParams params;
+    Channel channel;
+    std::vector<std::unique_ptr<NodePhy>> phys;
+    std::vector<std::unique_ptr<RecordingListener>> listeners;
+
+    explicit TestBed(PhyParams p = {}) : params(p), channel(scheduler, util::Rng(7), p) {}
+
+    NodePhy& add(double x, double y = 0.0)
+    {
+        const auto id = static_cast<net::NodeId>(phys.size());
+        phys.push_back(std::make_unique<NodePhy>(id, Position{x, y}, scheduler));
+        listeners.push_back(std::make_unique<RecordingListener>());
+        channel.attach(*phys.back());
+        phys.back()->set_listener(listeners.back().get());
+        return *phys.back();
+    }
+
+    RecordingListener& listener(std::size_t i) { return *listeners[i]; }
+};
+
+Frame data_frame(net::NodeId from, net::NodeId to, int bytes = 1000)
+{
+    Frame f;
+    f.type = FrameType::kData;
+    f.tx_node = from;
+    f.rx_node = to;
+    f.has_packet = true;
+    f.packet.bytes = bytes;
+    f.packet.checksum = 0xBEEF;
+    return f;
+}
+
+TEST(Channel, DeliversWithinRange)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);  // within 250 m
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    ASSERT_EQ(bed.listener(1).decoded.size(), 1u);
+    EXPECT_EQ(bed.listener(1).decoded[0].rx_node, 1);
+    EXPECT_EQ(bed.listener(0).tx_done.size(), 1u);
+}
+
+TEST(Channel, NoDeliveryBeyondDeliveryRange)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(300);  // beyond 250 m but within CS range
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+    // Still sensed: busy toggled on and off.
+    ASSERT_EQ(bed.listener(1).busy_transitions.size(), 2u);
+    EXPECT_TRUE(bed.listener(1).busy_transitions[0]);
+    EXPECT_FALSE(bed.listener(1).busy_transitions[1]);
+}
+
+TEST(Channel, NoSensingBeyondCsRange)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(600);  // beyond 550 m
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).busy_transitions.empty());
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+}
+
+TEST(Channel, EveryNodeInRangeHearsEverything)
+{
+    // The broadcast property EZ-Flow relies on: a third party within
+    // delivery range decodes frames not addressed to it.
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    bed.add(100, 100);  // bystander within range of the transmitter
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    ASSERT_EQ(bed.listener(2).decoded.size(), 1u);
+    EXPECT_EQ(bed.listener(2).decoded[0].rx_node, 1);  // addressed elsewhere
+}
+
+TEST(Channel, HiddenTerminalCollisionCorruptsReception)
+{
+    // a(0) -> b(200); c at 400 is within interference range of b but
+    // hidden from a. Overlapping transmissions corrupt b's reception.
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    NodePhy& c = bed.add(400);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.schedule_at(1000, [&] { c.start_tx(data_frame(2, 3)); });
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+    EXPECT_EQ(bed.phys[1]->frames_corrupted(), 1u);
+}
+
+TEST(Channel, CollisionWhenSecondSignalArrivesFirstFrameAlreadyLocked)
+{
+    // Locked reception is corrupted by any later overlapping signal, and
+    // the later signal itself is not decodable either.
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);          // receiver
+    NodePhy& c = bed.add(150, 150);  // also within delivery range of b
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.schedule_at(500, [&] { c.start_tx(data_frame(2, 1)); });
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+}
+
+TEST(Channel, BackToBackTransmissionsBothDecoded)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    const SimTime first_ends = bed.params.tx_duration(data_frame(0, 1));
+    bed.scheduler.schedule_at(first_ends + 10, [&] { a.start_tx(data_frame(0, 1, 500)); });
+    bed.scheduler.run();
+    EXPECT_EQ(bed.listener(1).decoded.size(), 2u);
+}
+
+TEST(Channel, TransmitterCannotHearWhileTransmitting)
+{
+    // Half-duplex: b transmits while a's frame is on the air; b decodes
+    // nothing (this is the paper's "sniffer constraint").
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    NodePhy& b = bed.add(200);
+    b.start_tx(data_frame(1, 2));  // long frame
+    bed.scheduler.schedule_at(100, [&] { a.start_tx(data_frame(0, 1, 100)); });
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+    EXPECT_GE(bed.phys[1]->frames_missed_busy(), 1u);
+}
+
+TEST(Channel, PerLinkLossDropsFrames)
+{
+    TestBed bed;
+    bed.channel.set_link_loss(0, 1, 1.0);
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+}
+
+TEST(Channel, LinkLossIsDirectional)
+{
+    TestBed bed;
+    bed.channel.set_link_loss(0, 1, 1.0);
+    NodePhy& a = bed.add(0);
+    NodePhy& b = bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());
+    b.start_tx(data_frame(1, 0));
+    bed.scheduler.run();
+    EXPECT_EQ(bed.listener(0).decoded.size(), 1u);
+}
+
+TEST(Channel, LinkLossValidation)
+{
+    TestBed bed;
+    EXPECT_THROW(bed.channel.set_link_loss(0, 1, -0.1), std::invalid_argument);
+    EXPECT_THROW(bed.channel.set_link_loss(0, 1, 1.1), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(bed.channel.link_loss(3, 4), 0.0);
+}
+
+TEST(Channel, RejectsDuplicateNodeIds)
+{
+    TestBed bed;
+    bed.add(0);
+    NodePhy dup(0, Position{10, 10}, bed.scheduler);
+    EXPECT_THROW(bed.channel.attach(dup), std::invalid_argument);
+}
+
+TEST(NodePhy, StartTxWhileTransmittingThrows)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    a.start_tx(data_frame(0, 1));
+    EXPECT_THROW(a.start_tx(data_frame(0, 1)), std::logic_error);
+}
+
+TEST(NodePhy, BusyDuringOwnTransmission)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    EXPECT_FALSE(a.busy());
+    a.start_tx(data_frame(0, 1));
+    EXPECT_TRUE(a.busy());
+    EXPECT_TRUE(a.transmitting());
+    bed.scheduler.run();
+    EXPECT_FALSE(a.busy());
+}
+
+TEST(NodePhy, TxWhileReceivingAbortsReception)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    NodePhy& b = bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.schedule_at(100, [&] { b.start_tx(data_frame(1, 0, 50)); });
+    bed.scheduler.run();
+    EXPECT_TRUE(bed.listener(1).decoded.empty());  // b aborted its RX
+    // And a cannot decode b's frame either: it was transmitting during
+    // part of b's frame? No -- a finished at 8480 while b's short frame
+    // ended earlier; a was still transmitting: missed.
+    EXPECT_TRUE(bed.listener(0).decoded.empty());
+}
+
+TEST(NodePhy, ChannelParamsRequiresAttachment)
+{
+    sim::Scheduler sched;
+    NodePhy lone(0, Position{0, 0}, sched);
+    EXPECT_THROW(lone.channel_params(), std::logic_error);
+}
+
+TEST(Channel, TransmissionCountersTrackTypes)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    Frame ack;
+    ack.type = FrameType::kAck;
+    ack.tx_node = 0;
+    ack.rx_node = 1;
+    a.start_tx(ack);
+    bed.scheduler.run();
+    EXPECT_EQ(bed.channel.transmissions(), 2u);
+    EXPECT_EQ(bed.channel.data_transmissions(), 1u);
+}
+
+}  // namespace
+}  // namespace ezflow::phy

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace ezflow::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero)
+{
+    Scheduler s;
+    EXPECT_EQ(s.now(), 0);
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder)
+{
+    Scheduler s;
+    std::vector<int> order;
+    s.schedule_at(30, [&] { order.push_back(3); });
+    s.schedule_at(10, [&] { order.push_back(1); });
+    s.schedule_at(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, SameTimeEventsFifo)
+{
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+    s.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleInIsRelative)
+{
+    Scheduler s;
+    SimTime fired_at = -1;
+    s.schedule_at(100, [&] { s.schedule_in(50, [&] { fired_at = s.now(); }); });
+    s.run();
+    EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Scheduler, RejectsPastAndNegative)
+{
+    Scheduler s;
+    s.schedule_at(10, [] {});
+    s.run();
+    EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+    EXPECT_THROW(s.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsEmptyAction)
+{
+    Scheduler s;
+    EXPECT_THROW(s.schedule_at(1, std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(Scheduler, CancelPreventsExecution)
+{
+    Scheduler s;
+    bool fired = false;
+    const EventId id = s.schedule_at(10, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse)
+{
+    Scheduler s;
+    const EventId id = s.schedule_at(10, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunReturnsFalse)
+{
+    Scheduler s;
+    const EventId id = s.schedule_at(10, [] {});
+    s.run();
+    EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelInvalidIdReturnsFalse)
+{
+    Scheduler s;
+    EXPECT_FALSE(s.cancel(EventId{}));
+    EXPECT_FALSE(s.cancel(EventId{12345}));
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock)
+{
+    Scheduler s;
+    std::vector<SimTime> fired;
+    s.schedule_at(10, [&] { fired.push_back(10); });
+    s.schedule_at(20, [&] { fired.push_back(20); });
+    s.schedule_at(30, [&] { fired.push_back(30); });
+    s.run_until(20);
+    EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+    EXPECT_EQ(s.now(), 20);
+    s.run_until(100);
+    EXPECT_EQ(fired.size(), 3u);
+    EXPECT_EQ(s.now(), 100);  // clock reaches the horizon even when idle
+}
+
+TEST(Scheduler, RunUntilRejectsPast)
+{
+    Scheduler s;
+    s.schedule_at(50, [] {});
+    s.run_until(50);
+    EXPECT_THROW(s.run_until(10), std::invalid_argument);
+}
+
+TEST(Scheduler, StopHaltsProcessing)
+{
+    Scheduler s;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        s.schedule_at(i, [&] {
+            ++count;
+            if (count == 3) s.stop();
+        });
+    }
+    s.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, HandlerCanScheduleMoreEvents)
+{
+    Scheduler s;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100) s.schedule_in(1, chain);
+    };
+    s.schedule_at(0, chain);
+    s.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Scheduler, PendingAndProcessedCounters)
+{
+    Scheduler s;
+    s.schedule_at(1, [] {});
+    s.schedule_at(2, [] {});
+    const EventId id = s.schedule_at(3, [] {});
+    EXPECT_EQ(s.pending(), 3u);
+    s.cancel(id);
+    EXPECT_EQ(s.pending(), 2u);
+    s.run();
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_EQ(s.processed(), 2u);
+}
+
+TEST(Scheduler, ManyEventsStress)
+{
+    Scheduler s;
+    std::int64_t sum = 0;
+    for (int i = 0; i < 100000; ++i) s.schedule_at(i % 997, [&] { ++sum; });
+    s.run();
+    EXPECT_EQ(sum, 100000);
+}
+
+TEST(Scheduler, CancellationInsideHandler)
+{
+    Scheduler s;
+    bool second_fired = false;
+    EventId second{};
+    second = s.schedule_at(10, [&] { second_fired = true; });
+    s.schedule_at(5, [&] { EXPECT_TRUE(s.cancel(second)); });
+    s.run();
+    EXPECT_FALSE(second_fired);
+}
+
+}  // namespace
+}  // namespace ezflow::sim

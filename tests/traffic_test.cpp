@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "traffic/sink.h"
+#include "traffic/source.h"
+
+namespace ezflow::traffic {
+namespace {
+
+using util::kSecond;
+
+/// Two-node network with one flow, for source/sink behaviour tests.
+struct OneLink {
+    net::Scenario scenario;
+    net::Network& net;
+
+    OneLink() : scenario(net::make_line(1, 1000.0, 9)), net(*scenario.network) {}
+};
+
+TEST(Cbr, GeneratesAtConfiguredRate)
+{
+    OneLink bed;
+    // 80 kb/s with 1000 B packets -> one packet every 100 ms.
+    CbrSource src(bed.net, 0, 1000, 80'000.0);
+    src.activate(0, 10 * kSecond);
+    bed.net.run_until(10 * kSecond);
+    EXPECT_EQ(src.stats().generated, 100u);
+}
+
+TEST(Cbr, RespectsStartStop)
+{
+    OneLink bed;
+    CbrSource src(bed.net, 0, 1000, 80'000.0);
+    src.activate(2 * kSecond, 4 * kSecond);
+    bed.net.run_until(10 * kSecond);
+    // Active for 2 s at 10 packets/s.
+    EXPECT_NEAR(static_cast<double>(src.stats().generated), 20.0, 1.0);
+}
+
+TEST(Cbr, SaturatingRateDropsAtSource)
+{
+    OneLink bed;
+    // 2 Mb/s offered on a ~870 kb/s link: the own-traffic queue fills and
+    // the source counts drops (the paper's greedy access point).
+    CbrSource src(bed.net, 0, 1000, 2e6);
+    src.activate(0, 5 * kSecond);
+    bed.net.run_until(5 * kSecond);
+    EXPECT_GT(src.stats().dropped_at_source, 0u);
+    EXPECT_EQ(src.stats().generated, src.stats().accepted + src.stats().dropped_at_source);
+}
+
+TEST(Cbr, ActivateTwiceThrows)
+{
+    OneLink bed;
+    CbrSource src(bed.net, 0, 1000, 1e5);
+    src.activate(0, kSecond);
+    EXPECT_THROW(src.activate(2 * kSecond, 3 * kSecond), std::logic_error);
+    EXPECT_THROW(CbrSource(bed.net, 0, 1000, 0.0), std::invalid_argument);
+}
+
+TEST(Poisson, MeanRateApproximatesTarget)
+{
+    OneLink bed;
+    PoissonSource src(bed.net, 0, 1000, 160'000.0);  // 20 pkt/s
+    src.activate(0, 100 * kSecond);
+    bed.net.run_until(100 * kSecond);
+    EXPECT_NEAR(static_cast<double>(src.stats().generated), 2000.0, 150.0);
+}
+
+TEST(OnOff, AlternatesBurstsAndSilence)
+{
+    OneLink bed;
+    OnOffSource src(bed.net, 0, 1000, 400'000.0, 1.0, 1.0);
+    src.activate(0, 100 * kSecond);
+    bed.net.run_until(100 * kSecond);
+    // Peak 50 pkt/s with ~50% duty cycle: between 15% and 85% of peak.
+    EXPECT_GT(src.stats().generated, 750u);
+    EXPECT_LT(src.stats().generated, 4250u);
+}
+
+TEST(Sink, RecordsDeliveriesAndDelay)
+{
+    OneLink bed;
+    Sink sink(bed.net);
+    sink.attach_flow(0);
+    CbrSource src(bed.net, 0, 1000, 80'000.0);
+    src.activate(0, 5 * kSecond);
+    bed.net.run_until(6 * kSecond);
+    const auto& rec = sink.flow(0);
+    EXPECT_EQ(rec.packets, 50u);
+    EXPECT_EQ(rec.bytes, 50'000u);
+    // One uncontended hop takes ~9 ms.
+    EXPECT_GT(rec.delay_us.mean(), 8000.0);
+    EXPECT_LT(rec.delay_us.mean(), 20000.0);
+    EXPECT_EQ(rec.duplicates, 0u);
+    EXPECT_EQ(rec.reordered, 0u);
+}
+
+TEST(Sink, GoodputWindowed)
+{
+    OneLink bed;
+    Sink sink(bed.net);
+    sink.attach_flow(0);
+    CbrSource src(bed.net, 0, 1000, 80'000.0);
+    src.activate(0, 10 * kSecond);
+    bed.net.run_until(10 * kSecond);
+    EXPECT_NEAR(sink.goodput_kbps(0, 0, 10 * kSecond), 80.0, 4.0);
+    EXPECT_DOUBLE_EQ(sink.goodput_kbps(0, 10 * kSecond, 10 * kSecond), 0.0);
+}
+
+TEST(Sink, UnknownFlowThrows)
+{
+    OneLink bed;
+    Sink sink(bed.net);
+    EXPECT_THROW(sink.flow(7), std::invalid_argument);
+    EXPECT_THROW(sink.goodput_kbps(7, 0, 1), std::invalid_argument);
+    sink.attach_flow(0);
+    EXPECT_THROW(sink.attach_flow(0), std::invalid_argument);
+}
+
+TEST(Sink, SeparatesFlowsAtSharedDestination)
+{
+    // Two flows ending at the same node: records must not mix.
+    net::Scenario s = net::make_testbed(0, 20, 0, 20, 11);
+    net::Network& net = *s.network;
+    Sink sink(net);
+    sink.attach_flow(1);
+    sink.attach_flow(2);
+    CbrSource f2(net, 2, 1000, 50'000.0);
+    f2.activate(0, 10 * kSecond);
+    net.run_until(12 * kSecond);
+    EXPECT_EQ(sink.flow(1).packets, 0u);
+    EXPECT_GT(sink.flow(2).packets, 0u);
+}
+
+}  // namespace
+}  // namespace ezflow::traffic

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace ezflow::util {
+namespace {
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, SecondsRoundTrip)
+{
+    EXPECT_EQ(from_seconds(1.5), 1'500'000);
+    EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+}
+
+TEST(Units, KbpsComputesKilobitsPerSecond)
+{
+    // 8000 bits over 1 second = 8 kb/s.
+    EXPECT_DOUBLE_EQ(kbps(8000, kSecond), 8.0);
+    // 8000 bits over 10 ms = 800 kb/s.
+    EXPECT_DOUBLE_EQ(kbps(8000, 10 * kMillisecond), 800.0);
+}
+
+TEST(Units, KbpsZeroDurationIsZero)
+{
+    EXPECT_DOUBLE_EQ(kbps(1000, 0), 0.0);
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, UniformIntWithinBounds)
+{
+    Rng rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniform_int(3, 17);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(42);
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange)
+{
+    Rng rng(42);
+    EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7);
+    Rng b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDecorrelatedFromParent)
+{
+    Rng parent(7);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (parent.next_u64() == child.next_u64()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkDeterministicAcrossRuns)
+{
+    Rng a(99);
+    Rng b(99);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRateApproximatesP)
+{
+    Rng rng(1);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanApproximatesParameter)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean)
+{
+    Rng rng(5);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights)
+{
+    Rng rng(11);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.weighted_index(weights) == 1) ++ones;
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput)
+{
+    Rng rng(11);
+    EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(rng.weighted_index({-1.0, 2.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- ring buffer
+
+TEST(RingBuffer, RejectsZeroCapacity)
+{
+    EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, PushAssignsSequentialSeqs)
+{
+    RingBuffer<int> ring(4);
+    EXPECT_EQ(ring.push(10), 0u);
+    EXPECT_EQ(ring.push(11), 1u);
+    EXPECT_EQ(ring.push(12), 2u);
+    EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull)
+{
+    RingBuffer<int> ring(3);
+    for (int i = 0; i < 5; ++i) ring.push(i);
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.oldest_seq(), 2u);
+    EXPECT_EQ(ring.newest_seq(), 4u);
+    EXPECT_EQ(ring.at_seq(2), 2);
+    EXPECT_EQ(ring.at_seq(4), 4);
+}
+
+TEST(RingBuffer, ContainsSeqTracksEviction)
+{
+    RingBuffer<int> ring(2);
+    ring.push(0);
+    ring.push(1);
+    ring.push(2);
+    EXPECT_FALSE(ring.contains_seq(0));
+    EXPECT_TRUE(ring.contains_seq(1));
+    EXPECT_TRUE(ring.contains_seq(2));
+    EXPECT_FALSE(ring.contains_seq(3));
+}
+
+TEST(RingBuffer, AtSeqThrowsForEvicted)
+{
+    RingBuffer<int> ring(2);
+    ring.push(0);
+    ring.push(1);
+    ring.push(2);
+    EXPECT_THROW(ring.at_seq(0), std::out_of_range);
+}
+
+TEST(RingBuffer, EmptyAccessorsThrow)
+{
+    RingBuffer<int> ring(2);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring.oldest_seq(), std::out_of_range);
+    EXPECT_THROW(ring.newest_seq(), std::out_of_range);
+}
+
+TEST(RingBuffer, ClearResets)
+{
+    RingBuffer<int> ring(2);
+    ring.push(1);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.push(9), 0u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanVarianceMinMax)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.count(), 8);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance)
+{
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(TimeSeries, RejectsDecreasingTimestamps)
+{
+    TimeSeries ts;
+    ts.add(10, 1.0);
+    EXPECT_THROW(ts.add(5, 2.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, WindowedMean)
+{
+    TimeSeries ts;
+    for (SimTime t = 0; t < 10; ++t) ts.add(t, static_cast<double>(t));
+    // Values 3,4,5,6 fall in [3,7).
+    EXPECT_DOUBLE_EQ(ts.mean_between(3, 7), 4.5);
+    EXPECT_DOUBLE_EQ(ts.max_between(3, 7), 6.0);
+}
+
+TEST(TimeSeries, WindowOutsideDataIsZero)
+{
+    TimeSeries ts;
+    ts.add(5, 3.0);
+    EXPECT_DOUBLE_EQ(ts.mean_between(100, 200), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"link", "kb/s"});
+    t.add_row({"l0", "845"});
+    t.add_row({"l2", "408"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| link"), std::string::npos);
+    EXPECT_NE(s.find("845"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(7.0, 0), "7");
+}
+
+// ------------------------------------------------------------------ csv
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    const std::string path = ::testing::TempDir() + "/ezf_csv_test.csv";
+    {
+        CsvWriter csv(path, {"t", "v"});
+        csv.add_row(std::vector<double>{1.0, 2.0});
+        csv.add_row(std::vector<std::string>{"3", "4"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "t,v");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(in, line);
+    EXPECT_EQ(line, "3,4");
+}
+
+TEST(Csv, RejectsWrongColumnCount)
+{
+    const std::string path = ::testing::TempDir() + "/ezf_csv_test2.csv";
+    CsvWriter csv(path, {"a", "b"});
+    EXPECT_THROW(csv.add_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ cli
+
+TEST(Cli, ParsesEqualsAndSwitchForms)
+{
+    const char* argv[] = {"prog", "--rate=2.5", "--hops=4", "--verbose", "positional"};
+    Cli cli(5, argv);
+    EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+    EXPECT_EQ(cli.get_int("hops", 0), 4);
+    EXPECT_TRUE(cli.get_bool("verbose", false));
+    ASSERT_EQ(cli.positional().size(), 1u);
+    EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, FallbacksWhenAbsent)
+{
+    const char* argv[] = {"prog"};
+    Cli cli(1, argv);
+    EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+    EXPECT_EQ(cli.get_int("n", 9), 9);
+    EXPECT_FALSE(cli.has("x"));
+}
+
+}  // namespace
+}  // namespace ezflow::util
