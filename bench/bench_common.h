@@ -1,39 +1,60 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/experiment_factory.h"
+#include "analysis/sweep.h"
 #include "net/topologies.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 // Shared plumbing for the per-table/per-figure harnesses.
 //
 // Every harness accepts:
-//   --scale=<f>   multiply the paper's timeline by f (default below 1 so the
-//                 whole bench directory replays in minutes; use --scale=1
-//                 for the paper's full durations)
-//   --seed=<n>    root RNG seed
-//   --csv=<dir>   also dump figure series as CSV files into <dir>
+//   --scale=<f>    multiply the paper's timeline by f (default below 1 so the
+//                  whole bench directory replays in minutes; use --scale=1
+//                  for the paper's full durations)
+//   --seed=<n>     first root RNG seed
+//   --seeds=<k>    sweep k consecutive seeds (seed, seed+1, ...) and report
+//                  mean +/- 95% CI across them
+//   --threads=<t>  worker threads for the sweep (0 = hardware concurrency)
+//   --csv=<dir>    also dump figure series as CSV files into <dir>
+//                  (series come from the first seed's run)
 namespace ezflow::bench {
 
 struct BenchArgs {
     double scale;
     std::uint64_t seed;
+    int seeds;
+    int threads;
     std::string csv_dir;
 
-    static BenchArgs parse(int argc, char** argv, double default_scale)
+    static BenchArgs parse(int argc, char** argv, double default_scale, int default_seeds = 8)
     {
         util::Cli cli(argc, argv);
         BenchArgs args;
         args.scale = cli.get_double("scale", default_scale);
         args.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+        args.seeds = std::max(1, cli.get_int("seeds", default_seeds));
+        args.threads = cli.get_int("threads", 0);
         args.csv_dir = cli.get("csv", "");
         return args;
+    }
+
+    std::vector<std::uint64_t> seed_grid() const
+    {
+        std::vector<std::uint64_t> grid;
+        grid.reserve(static_cast<std::size_t>(seeds));
+        for (int i = 0; i < seeds; ++i) grid.push_back(seed + static_cast<std::uint64_t>(i));
+        return grid;
     }
 };
 
@@ -43,6 +64,50 @@ inline void print_header(const std::string& title, const std::string& paper_refe
     std::printf("%s\n", title.c_str());
     std::printf("(reproduces %s)\n", paper_reference.c_str());
     std::printf("==============================================================\n");
+}
+
+/// "183.9 +/-4.2" — a sweep aggregate cell for the report tables.
+inline std::string with_ci(const util::RunningStats& stats, int decimals)
+{
+    if (stats.count() <= 1) return util::Table::num(stats.mean(), decimals);
+    return util::Table::num(stats.mean(), decimals) + " +/-" +
+           util::Table::num(util::ci95_halfwidth(stats), decimals);
+}
+
+/// Fan `modes` x the args' seed grid across a thread pool. Results are in
+/// mode order; each carries per-window aggregates (mean/CI across seeds).
+inline std::vector<analysis::SweepResult> sweep_modes(
+    const BenchArgs& args, const analysis::ScenarioSpec& spec,
+    const std::vector<analysis::Mode>& modes, std::vector<analysis::SweepWindow> windows,
+    bool keep_experiments = false)
+{
+    std::vector<analysis::ExperimentFactory> cells;
+    cells.reserve(modes.size());
+    for (analysis::Mode mode : modes) {
+        analysis::ExperimentOptions options;
+        options.mode = mode;
+        cells.emplace_back(spec, options);
+    }
+    analysis::SweepConfig config;
+    config.windows = std::move(windows);
+    config.seeds = args.seed_grid();
+    config.keep_experiments = keep_experiments || !args.csv_dir.empty();
+    auto results = analysis::SweepRunner(args.threads).run_grid(cells, config);
+    // --csv only plots the first seed's series; don't keep the other
+    // seeds' Networks alive unless the driver asked for all of them.
+    if (!keep_experiments) {
+        for (analysis::SweepResult& result : results)
+            if (result.experiments.size() > 1) result.experiments.resize(1);
+    }
+    return results;
+}
+
+inline void print_sweep_footer(const BenchArgs& args, const analysis::SweepResult& result)
+{
+    std::printf("[sweep] %d seed(s) (%llu..%llu), %.2f s wall%s\n", args.seeds,
+                static_cast<unsigned long long>(args.seed),
+                static_cast<unsigned long long>(args.seed + static_cast<std::uint64_t>(args.seeds) - 1),
+                result.wall_seconds, args.threads == 0 ? " (all cores)" : "");
 }
 
 /// The three activity periods of scenario 1 (Fig. 5 timeline), scaled.
@@ -62,19 +127,20 @@ struct Scenario1Periods {
           total(2504 * scale)
     {
     }
-};
 
-/// Run scenario 1 under one mode and return the finished experiment.
-inline std::unique_ptr<analysis::Experiment> run_scenario1(const BenchArgs& args,
-                                                           analysis::Mode mode)
-{
-    analysis::ExperimentOptions options;
-    options.mode = mode;
-    auto exp =
-        std::make_unique<analysis::Experiment>(net::make_scenario1(args.scale, args.seed), options);
-    exp->run();
-    return exp;
-}
+    /// The settled regime of each period (the paper reports means net of a
+    /// warmup after every traffic-matrix change), as sweep windows.
+    std::vector<analysis::SweepWindow> windows() const
+    {
+        const double w1 = 0.3 * (p1_end - p1_begin);
+        const double w2 = 0.3 * (p2_end - p2_begin);
+        return {
+            {"F1 alone", p1_begin + w1, p1_end, {1}},
+            {"F1 + F2", p2_begin + w2, p2_end, {1, 2}},
+            {"F1 alone again", p3_begin + w2, p3_end, {1}},
+        };
+    }
+};
 
 /// The three activity periods of scenario 2 (Fig. 9 timeline), scaled.
 struct Scenario2Periods {
@@ -93,18 +159,19 @@ struct Scenario2Periods {
           total(4500 * scale)
     {
     }
-};
 
-inline std::unique_ptr<analysis::Experiment> run_scenario2(const BenchArgs& args,
-                                                           analysis::Mode mode)
-{
-    analysis::ExperimentOptions options;
-    options.mode = mode;
-    auto exp =
-        std::make_unique<analysis::Experiment>(net::make_scenario2(args.scale, args.seed), options);
-    exp->run();
-    return exp;
-}
+    std::vector<analysis::SweepWindow> windows() const
+    {
+        const double w1 = 0.3 * (p1_end - p1_begin);
+        const double w2 = 0.3 * (p2_end - p2_begin);
+        const double w3 = 0.3 * (p3_end - p3_begin);
+        return {
+            {"F1 + F2", p1_begin + w1, p1_end, {1, 2}},
+            {"F1 + F2 + F3", p2_begin + w2, p2_end, {1, 2, 3}},
+            {"F1 alone", p3_begin + w3, p3_end, {1}},
+        };
+    }
+};
 
 /// Dump a time series as CSV when --csv was given.
 inline void maybe_dump_series(const BenchArgs& args, const std::string& name,

@@ -2,6 +2,8 @@
 // in scenario 2. Paper: cw10 (F2's source) climbs to 2^10 in period 1;
 // in period 2 the sources sit at cw10 = cw19 = 2^9 and cw0 = 2^7, the
 // competition-aware distribution that un-starves the crossing flows.
+// The sweep runs --seeds EZ-Flow simulations in parallel; each node's
+// settled log2(cw) is reported as mean +/- 95% CI across seeds.
 
 #include <cmath>
 
@@ -20,6 +22,13 @@ int label_to_node(const net::Scenario& scenario, const std::string& label)
     return -1;
 }
 
+double log_cw_at(const util::TimeSeries& trace, double t_s, double scale)
+{
+    const double cw =
+        trace.mean_between(util::from_seconds(t_s - 60.0 * scale), util::from_seconds(t_s));
+    return cw > 0 ? std::log2(cw) : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -28,28 +37,31 @@ int main(int argc, char** argv)
     print_header("fig11_scenario2_cw: contention windows at the flows' first nodes",
                  "Fig. 11 — sources self-throttle (2^7..2^10); first relays stay aggressive");
     const Scenario2Periods periods(args.scale);
-    auto exp = run_scenario2(args, Mode::kEzFlow);
-    const net::Scenario& scenario = exp->scenario();
+    const auto results = sweep_modes(args, ScenarioSpec::scenario2(args.scale), {Mode::kEzFlow},
+                                     periods.windows(), /*keep_experiments=*/true);
+    const SweepResult& result = results.front();
+    const net::Scenario& scenario = result.experiments.front()->scenario();
 
     // The paper plots cw0, cw1 (F1), cw10, cw11 (F2), cw19, cw20 (F3).
     const std::vector<std::string> labels = {"N0", "N1", "N10", "N11", "N19", "N20"};
+    const double sample_times[] = {periods.p1_end, periods.p2_end, periods.p3_end};
     util::Table table({"node", "log2(cw) @P1", "log2(cw) @P2", "log2(cw) @P3"});
     std::vector<std::pair<std::string, const util::TimeSeries*>> series;
     for (const std::string& label : labels) {
         const int node = label_to_node(scenario, label);
         if (node < 0) continue;
-        const util::TimeSeries& trace = exp->cw_tracer().trace(node);
-        auto log_cw_at = [&](double t_s) {
-            const double cw = trace.mean_between(util::from_seconds(t_s - 60.0 * args.scale),
-                                                 util::from_seconds(t_s));
-            return cw > 0 ? std::log2(cw) : 0.0;
-        };
-        table.add_row({label, util::Table::num(log_cw_at(periods.p1_end), 1),
-                       util::Table::num(log_cw_at(periods.p2_end), 1),
-                       util::Table::num(log_cw_at(periods.p3_end), 1)});
-        series.emplace_back(label, &trace);
+        util::RunningStats per_time[3];
+        for (const auto& experiment : result.experiments) {
+            const util::TimeSeries& trace = experiment->cw_tracer().trace(node);
+            for (int t = 0; t < 3; ++t)
+                per_time[t].add(log_cw_at(trace, sample_times[t], args.scale));
+        }
+        table.add_row({label, with_ci(per_time[0], 1), with_ci(per_time[1], 1),
+                       with_ci(per_time[2], 1)});
+        series.emplace_back(label, &result.experiments.front()->cw_tracer().trace(node));
     }
     std::printf("%s", table.to_string().c_str());
+    print_sweep_footer(args, result);
     maybe_dump_series(args, "fig11_cw", series);
     std::printf(
         "\nExpected shape: each flow's source carries a much larger window than its\n"

@@ -1,7 +1,8 @@
 // Table 3: mean throughput, standard deviation and Jain's fairness index
 // for the three periods of scenario 2, with and without EZ-Flow.
 // Paper headline: period 2 cumulative throughput 188.2 -> 304.6 kb/s
-// (+62%) and FI 0.64 -> 0.80.
+// (+62%) and FI 0.64 -> 0.80. Swept over --seeds root seeds in parallel;
+// cells are mean +/- 95% CI across seeds.
 
 #include "bench_common.h"
 
@@ -11,40 +12,24 @@ using namespace ezflow;
 using namespace ezflow::bench;
 using namespace ezflow::analysis;
 
-void report(const BenchArgs& args, Mode mode, util::Table& table)
+void report(const BenchArgs& args, const SweepResult& result, Mode mode, util::Table& table)
 {
-    const Scenario2Periods periods(args.scale);
-    auto exp = run_scenario2(args, mode);
     const std::string suffix = mode == Mode::kEzFlow ? " (EZ)" : "";
-
-    const double w1 = 0.3 * (periods.p1_end - periods.p1_begin);
-    const double w2 = 0.3 * (periods.p2_end - periods.p2_begin);
-    const double w3 = 0.3 * (periods.p3_end - periods.p3_begin);
-
-    auto emit = [&](const std::string& label, int flow, double from, double to, double fi) {
-        const auto s = exp->summarize(flow, from, to);
-        table.add_row({label + suffix, util::Table::num(s.mean_kbps, 1),
-                       util::Table::num(s.stddev_kbps, 1),
-                       fi < 0 ? "-" : util::Table::num(fi, 2)});
-    };
-    // Period 1: F1 + F2.
-    double fi = exp->fairness({1, 2}, periods.p1_begin + w1, periods.p1_end);
-    emit("P1 F1", 1, periods.p1_begin + w1, periods.p1_end, -1);
-    emit("P1 F2", 2, periods.p1_begin + w1, periods.p1_end, fi);
-    // Period 2: all three flows.
-    fi = exp->fairness({1, 2, 3}, periods.p2_begin + w2, periods.p2_end);
-    emit("P2 F1", 1, periods.p2_begin + w2, periods.p2_end, -1);
-    emit("P2 F2", 2, periods.p2_begin + w2, periods.p2_end, -1);
-    emit("P2 F3", 3, periods.p2_begin + w2, periods.p2_end, fi);
-    // Period 3: F1 alone.
-    emit("P3 F1", 1, periods.p3_begin + w3, periods.p3_end, -1);
-
-    const double cumulative =
-        exp->summarize(1, periods.p2_begin + w2, periods.p2_end).mean_kbps +
-        exp->summarize(2, periods.p2_begin + w2, periods.p2_end).mean_kbps +
-        exp->summarize(3, periods.p2_begin + w2, periods.p2_end).mean_kbps;
-    std::printf("period-2 cumulative throughput, %s: %.1f kb/s\n", mode_name(mode).c_str(),
-                cumulative);
+    const char* period_names[] = {"P1", "P2", "P3"};
+    for (std::size_t w = 0; w < result.windows.size(); ++w) {
+        const WindowAggregate& window = result.windows[w];
+        for (std::size_t f = 0; f < window.flows.size(); ++f) {
+            const bool last_flow = f + 1 == window.flows.size();
+            table.add_row({std::string(period_names[w]) + " F" + std::to_string(f + 1) + suffix,
+                           with_ci(window.flows[f].mean_kbps, 1),
+                           with_ci(window.flows[f].stddev_kbps, 1),
+                           last_flow && window.flows.size() > 1 ? with_ci(window.fairness, 2)
+                                                                : std::string("-")});
+        }
+    }
+    std::printf("period-2 cumulative throughput, %s: %s kb/s\n", mode_name(mode).c_str(),
+                with_ci(result.windows[1].aggregate_kbps, 1).c_str());
+    print_sweep_footer(args, result);
 }
 
 }  // namespace
@@ -54,9 +39,12 @@ int main(int argc, char** argv)
     const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
     print_header("table3_scenario2: per-period throughput / stddev / fairness",
                  "Table 3 — EZ-flow: +62% cumulative throughput and FI 0.64 -> 0.80 in period 2");
+    const Scenario2Periods periods(args.scale);
+    const std::vector<Mode> modes = {Mode::kBaseline80211, Mode::kEzFlow};
+    const auto results =
+        sweep_modes(args, ScenarioSpec::scenario2(args.scale), modes, periods.windows());
     util::Table table({"period/flow", "mean [kb/s]", "stddev [kb/s]", "Jain FI"});
-    report(args, Mode::kBaseline80211, table);
-    report(args, Mode::kEzFlow, table);
+    for (std::size_t m = 0; m < modes.size(); ++m) report(args, results[m], modes[m], table);
     std::printf("%s", table.to_string().c_str());
     std::printf(
         "\nExpected shape: under 802.11 the crossing flows starve each other\n"

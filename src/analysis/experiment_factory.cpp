@@ -1,0 +1,73 @@
+#include "analysis/experiment_factory.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ezflow::analysis {
+
+ScenarioSpec ScenarioSpec::line(int hops, double duration_s)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kLine;
+    spec.line_hops = hops;
+    spec.line_duration_s = duration_s;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
+                                   double f2_stop_s)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kTestbed;
+    spec.testbed_f1_start_s = f1_start_s;
+    spec.testbed_f1_stop_s = f1_stop_s;
+    spec.testbed_f2_start_s = f2_start_s;
+    spec.testbed_f2_stop_s = f2_stop_s;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::scenario1(double time_scale)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kScenario1;
+    spec.time_scale = time_scale;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::scenario2(double time_scale)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kScenario2;
+    spec.time_scale = time_scale;
+    return spec;
+}
+
+std::string scenario_name(const ScenarioSpec& spec)
+{
+    std::ostringstream out;
+    switch (spec.kind) {
+        case ScenarioSpec::Kind::kLine: out << "line-" << spec.line_hops << "hop"; break;
+        case ScenarioSpec::Kind::kTestbed: out << "testbed"; break;
+        case ScenarioSpec::Kind::kScenario1: out << "scenario1 x" << spec.time_scale; break;
+        case ScenarioSpec::Kind::kScenario2: out << "scenario2 x" << spec.time_scale; break;
+    }
+    return out.str();
+}
+
+net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
+{
+    switch (spec.kind) {
+        case ScenarioSpec::Kind::kLine:
+            return net::make_line(spec.line_hops, spec.line_duration_s, seed);
+        case ScenarioSpec::Kind::kTestbed:
+            return net::make_testbed(spec.testbed_f1_start_s, spec.testbed_f1_stop_s,
+                                     spec.testbed_f2_start_s, spec.testbed_f2_stop_s, seed);
+        case ScenarioSpec::Kind::kScenario1:
+            return net::make_scenario1(spec.time_scale, seed);
+        case ScenarioSpec::Kind::kScenario2:
+            return net::make_scenario2(spec.time_scale, seed);
+    }
+    throw std::logic_error("build_scenario: unknown scenario kind");
+}
+
+}  // namespace ezflow::analysis

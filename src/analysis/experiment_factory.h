@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "net/topologies.h"
+
+namespace ezflow::analysis {
+
+/// Declarative description of which canned topology to build and with
+/// which knobs — the "scenario" axis of a sweep grid. Extracted from the
+/// per-bench construction code so the same spec can be replayed across
+/// seeds, modes, and threads.
+struct ScenarioSpec {
+    enum class Kind {
+        kLine,       ///< K-hop chain (Fig. 1 family)
+        kTestbed,    ///< 9-router testbed of Fig. 3 (Table 1/2, Fig. 4)
+        kScenario1,  ///< two 8-hop flows merging at a gateway (Figs. 6-8)
+        kScenario2,  ///< three crossing flows, hidden sources (Figs. 9-11)
+    };
+
+    Kind kind = Kind::kScenario1;
+
+    /// Timeline compression for scenario 1/2 (1.0 = the paper's full
+    /// durations).
+    double time_scale = 1.0;
+
+    // kLine knobs.
+    int line_hops = 4;
+    double line_duration_s = 60.0;
+
+    // kTestbed activity windows (seconds).
+    double testbed_f1_start_s = 5.0;
+    double testbed_f1_stop_s = 65.0;
+    double testbed_f2_start_s = 5.0;
+    double testbed_f2_stop_s = 65.0;
+
+    static ScenarioSpec line(int hops, double duration_s);
+    static ScenarioSpec testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
+                                double f2_stop_s);
+    static ScenarioSpec scenario1(double time_scale);
+    static ScenarioSpec scenario2(double time_scale);
+};
+
+std::string scenario_name(const ScenarioSpec& spec);
+
+/// Build the network + flow plan a spec describes, seeded for one run.
+net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Binds a ScenarioSpec to the ExperimentOptions under test and stamps
+/// out independent, identically-configured experiments per seed — the
+/// unit of work a SweepRunner fans across threads.
+class ExperimentFactory {
+public:
+    ExperimentFactory(ScenarioSpec spec, ExperimentOptions options)
+        : spec_(spec), options_(options)
+    {
+    }
+
+    /// A fresh experiment over a fresh Network, deterministic in `seed`.
+    std::unique_ptr<Experiment> make(std::uint64_t seed) const
+    {
+        return std::make_unique<Experiment>(build_scenario(spec_, seed), options_);
+    }
+
+    /// Same spec, different policy — convenience for building mode grids.
+    ExperimentFactory with_mode(Mode mode) const
+    {
+        ExperimentOptions options = options_;
+        options.mode = mode;
+        return ExperimentFactory(spec_, options);
+    }
+
+    const ScenarioSpec& spec() const { return spec_; }
+    const ExperimentOptions& options() const { return options_; }
+
+    /// "scenario1 x0.3 / EZ-flow" — used in sweep reports.
+    std::string label() const { return scenario_name(spec_) + " / " + mode_name(options_.mode); }
+
+private:
+    ScenarioSpec spec_;
+    ExperimentOptions options_;
+};
+
+}  // namespace ezflow::analysis

@@ -17,7 +17,8 @@ PacedQueue::PacedQueue(net::Network& network, net::NodeId node, mac::QueueKey ke
       // pacing rate and vice versa.
       caa_(config, [this](int cw) {
           interval_ = base_interval_ * cw / caa_.config().min_cw;
-      })
+      }),
+      release_timer_(network.scheduler(), [this] { release_one(); })
 {
     if (capacity <= 0) throw std::invalid_argument("PacedQueue: capacity must be > 0");
     if (base_interval <= 0) throw std::invalid_argument("PacedQueue: base_interval must be > 0");
@@ -36,14 +37,12 @@ bool PacedQueue::push(const net::Packet& packet)
 
 void PacedQueue::schedule_release()
 {
-    if (release_pending_ || queue_.empty()) return;
-    release_pending_ = true;
-    network_.scheduler().schedule_in(interval_, [this] { release_one(); });
+    if (release_timer_.armed() || queue_.empty()) return;
+    release_timer_.arm_in(interval_);
 }
 
 void PacedQueue::release_one()
 {
-    release_pending_ = false;
     if (queue_.empty()) return;
     const net::Packet packet = queue_.front();
     queue_.pop_front();

@@ -8,6 +8,7 @@
 #include "core/caa.h"
 #include "net/network.h"
 #include "net/node.h"
+#include "sim/timer.h"
 #include "util/stats.h"
 
 namespace ezflow::core {
@@ -54,7 +55,7 @@ private:
     util::SimTime interval_;
     ChannelAccessAdaptation caa_;
     std::deque<net::Packet> queue_;
-    bool release_pending_ = false;
+    sim::Timer release_timer_;
     std::uint64_t dropped_ = 0;
     std::uint64_t released_ = 0;
 };

@@ -10,7 +10,11 @@ DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, util::Rng rng, MacP
       scheduler_(scheduler),
       rng_(std::move(rng)),
       params_(params),
-      queues_(params.queue_capacity, params.cw_min)
+      queues_(params.queue_capacity, params.cw_min),
+      difs_timer_(scheduler, [this] { on_difs_elapsed(); }),
+      slot_timer_(scheduler, [this] { on_backoff_slot(); }),
+      ack_timer_(scheduler, [this] { on_ack_timeout(); }),
+      cts_timer_(scheduler, [this] { on_cts_timeout(); })
 {
     phy_.set_listener(this);
 }
@@ -87,7 +91,7 @@ void DcfMac::start_difs()
     // decoded: the station must leave room for an exchange (ACK) it may
     // have jammed or missed.
     const SimTime wait = phy_.last_rx_error() ? params_.eifs_us : params_.difs_us;
-    difs_event_ = scheduler_.schedule_in(wait, [this] { on_difs_elapsed(); });
+    difs_timer_.arm_in(wait);
 }
 
 void DcfMac::set_nav_for_ack()
@@ -118,28 +122,24 @@ void DcfMac::on_nav_expired()
 
 void DcfMac::cancel_contention_timers()
 {
-    scheduler_.cancel(difs_event_);
-    scheduler_.cancel(slot_event_);
-    difs_event_ = {};
-    slot_event_ = {};
+    difs_timer_.cancel();
+    slot_timer_.cancel();
 }
 
 void DcfMac::on_difs_elapsed()
 {
-    difs_event_ = {};
     state_ = State::kBackoff;
     on_backoff_slot();
 }
 
 void DcfMac::on_backoff_slot()
 {
-    slot_event_ = {};
     if (backoff_remaining_ == 0) {
         start_exchange();
         return;
     }
     --backoff_remaining_;
-    slot_event_ = scheduler_.schedule_in(params_.slot_us, [this] { on_backoff_slot(); });
+    slot_timer_.arm_in(params_.slot_us);
 }
 
 SimTime DcfMac::current_data_airtime() const
@@ -226,9 +226,8 @@ void DcfMac::phy_tx_done(const phy::Frame& frame)
         state_ = State::kWaitCts;
         phy::Frame cts;
         cts.type = phy::FrameType::kCts;
-        cts_timeout_event_ = scheduler_.schedule_in(
-            params_.sifs_us + phy_params.tx_duration(cts) + params_.ack_timeout_slack_us,
-            [this] { on_cts_timeout(); });
+        cts_timer_.arm_in(params_.sifs_us + phy_params.tx_duration(cts) +
+                          params_.ack_timeout_slack_us);
         return;
     }
     // Data frame sent: await the ACK.
@@ -236,8 +235,7 @@ void DcfMac::phy_tx_done(const phy::Frame& frame)
     phy::Frame ack;
     ack.type = phy::FrameType::kAck;
     const SimTime ack_air = phy_params.tx_duration(ack);
-    ack_timeout_event_ = scheduler_.schedule_in(
-        params_.sifs_us + ack_air + params_.ack_timeout_slack_us, [this] { on_ack_timeout(); });
+    ack_timer_.arm_in(params_.sifs_us + ack_air + params_.ack_timeout_slack_us);
 }
 
 void DcfMac::phy_frame_decoded(const phy::Frame& frame)
@@ -258,16 +256,14 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
         case phy::FrameType::kAck:
             if (state_ == State::kWaitAck && frame.mac_seq == current_seq_ &&
                 frame.tx_node == current_queue_->key().next_hop) {
-                scheduler_.cancel(ack_timeout_event_);
-                ack_timeout_event_ = {};
+                ack_timer_.cancel();
                 finish_current(/*success=*/true);
             }
             return;
         case phy::FrameType::kCts:
             if (state_ == State::kWaitCts && frame.mac_seq == current_seq_ &&
                 frame.tx_node == current_queue_->key().next_hop) {
-                scheduler_.cancel(cts_timeout_event_);
-                cts_timeout_event_ = {};
+                cts_timer_.cancel();
                 // Data follows the CTS after SIFS, without re-contending.
                 scheduler_.schedule_in(params_.sifs_us, [this] {
                     if (state_ == State::kWaitCts && !phy_.transmitting()) transmit_data();
@@ -337,7 +333,6 @@ void DcfMac::send_pending_control()
 
 void DcfMac::on_ack_timeout()
 {
-    ack_timeout_event_ = {};
     if (state_ != State::kWaitAck) throw std::logic_error("DcfMac::on_ack_timeout: bad state");
     ++retries_;
     if (retries_ > params_.retry_limit) {
@@ -352,7 +347,6 @@ void DcfMac::on_ack_timeout()
 
 void DcfMac::on_cts_timeout()
 {
-    cts_timeout_event_ = {};
     if (state_ != State::kWaitCts) throw std::logic_error("DcfMac::on_cts_timeout: bad state");
     ++retries_;
     if (retries_ > params_.retry_limit) {

@@ -8,6 +8,7 @@
 #include "mac/mac_queue.h"
 #include "phy/phy.h"
 #include "sim/scheduler.h"
+#include "sim/timer.h"
 #include "util/rng.h"
 
 namespace ezflow::mac {
@@ -137,10 +138,10 @@ private:
     int backoff_remaining_ = 0;
     std::uint32_t current_seq_ = 0;
 
-    sim::EventId difs_event_{};
-    sim::EventId slot_event_{};
-    sim::EventId ack_timeout_event_{};
-    sim::EventId cts_timeout_event_{};
+    sim::Timer difs_timer_;
+    sim::Timer slot_timer_;
+    sim::Timer ack_timer_;
+    sim::Timer cts_timer_;
 
     // SIFS-spaced control responses (ACK / CTS), out-of-band wrt
     // contention.

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <compare>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -18,7 +17,16 @@ struct QueueKey {
     net::NodeId next_hop = -1;
     bool own_traffic = false;
 
-    auto operator<=>(const QueueKey&) const = default;
+    bool operator==(const QueueKey& o) const
+    {
+        return next_hop == o.next_hop && own_traffic == o.own_traffic;
+    }
+    bool operator!=(const QueueKey& o) const { return !(*this == o); }
+    bool operator<(const QueueKey& o) const
+    {
+        if (next_hop != o.next_hop) return next_hop < o.next_hop;
+        return own_traffic < o.own_traffic;
+    }
 };
 
 /// One DropTail FIFO interface queue with its own CWmin — the single

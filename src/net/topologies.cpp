@@ -1,7 +1,6 @@
 #include "net/topologies.h"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace ezflow::net {
@@ -13,6 +12,8 @@ namespace {
 /// and 3-hop neighbours are hidden (600 > 550 m) — the ns-2 regime the
 /// paper simulates and the one [9] proves unstable beyond 3 hops.
 constexpr double kSpacing = 200.0;
+
+using util::kPi;
 
 }  // namespace
 
@@ -112,7 +113,7 @@ Scenario make_scenario1(double time_scale, std::uint64_t seed)
     }
     // Two branches diverge from N4 at +/-30 degrees: even-numbered nodes
     // N6, N8, N10, N12 on one, odd N5, N7, N9, N11 on the other (Fig. 5).
-    const double angle = 30.0 * std::numbers::pi / 180.0;
+    const double angle = 30.0 * kPi / 180.0;
     std::vector<NodeId> branch_a;  // N6, N8, N10, N12
     std::vector<NodeId> branch_b;  // N5, N7, N9, N11
     for (int k = 1; k <= 4; ++k) {

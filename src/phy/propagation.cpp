@@ -1,9 +1,13 @@
 #include "phy/propagation.h"
 
-#include <numbers>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/units.h"
+
 namespace ezflow::phy {
+
+using util::kPi;
 
 double PropagationModel::range_for_threshold(double tx_power_w, double threshold_w) const
 {
@@ -31,7 +35,7 @@ FreeSpace::FreeSpace(double wavelength_m, double gain_tx, double gain_rx, double
 double FreeSpace::rx_power_w(double tx_power_w, double distance_m) const
 {
     if (distance_m <= 0.0) return tx_power_w;
-    const double denom = 4.0 * std::numbers::pi * distance_m;
+    const double denom = 4.0 * kPi * distance_m;
     return tx_power_w * gain_tx_ * gain_rx_ * wavelength_m_ * wavelength_m_ /
            (denom * denom * system_loss_);
 }
@@ -43,7 +47,7 @@ TwoRayGround::TwoRayGround(double wavelength_m, double antenna_height_m, double 
       gain_tx_(gain_tx),
       gain_rx_(gain_rx),
       system_loss_(system_loss),
-      crossover_m_(4.0 * std::numbers::pi * antenna_height_m * antenna_height_m / wavelength_m)
+      crossover_m_(4.0 * kPi * antenna_height_m * antenna_height_m / wavelength_m)
 {
     if (antenna_height_m <= 0.0) throw std::invalid_argument("TwoRayGround: height must be > 0");
 }

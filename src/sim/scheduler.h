@@ -1,29 +1,45 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "util/units.h"
 
 namespace ezflow::sim {
 
 using util::SimTime;
 
-/// Handle to a scheduled event, usable for cancellation.
+/// Handle to a scheduled event, usable for cancellation. Encodes a slot
+/// index into the scheduler's event arena plus the slot's generation at
+/// scheduling time, so a handle outliving its event (fired or cancelled,
+/// slot possibly recycled) is rejected in O(1) without any hash lookup.
 struct EventId {
-    std::uint64_t value = 0;
-    bool valid() const { return value != 0; }
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+
+    bool valid() const { return gen != 0; }
+    bool operator==(const EventId& o) const { return slot == o.slot && gen == o.gen; }
+    bool operator!=(const EventId& o) const { return !(*this == o); }
 };
 
 /// Single-threaded discrete-event scheduler with an integer-microsecond
 /// clock. Events scheduled for the same time fire in scheduling order
 /// (stable FIFO tie-break), which keeps runs deterministic.
 ///
-/// Cancellation is O(1) via tombstoning: cancelled events stay in the heap
-/// and are discarded when they surface.
+/// Storage is a pooled event arena: each live event occupies a
+/// generation-counted slot recycled through a free list, and the callback
+/// lives inline in the slot (EventFn's small buffer), so steady-state
+/// scheduling performs no heap allocation. The time-ordered index is a
+/// binary heap of plain {time, seq, slot, gen} records, fed through a
+/// staging buffer: newly scheduled records sit unsorted until the next
+/// event pop, so the many events that are cancelled before ever firing
+/// (the MAC arms an ACK timeout per frame and cancels it when the ACK
+/// lands) are filtered out without ever paying a heap push. Cancellation
+/// itself releases the slot immediately (O(1)); a record already in the
+/// heap goes stale and is dropped when it surfaces, and when stale
+/// records outnumber live ones the heap is compacted in place, bounding
+/// memory in long runs with heavy cancel churn.
 class Scheduler {
 public:
     Scheduler() = default;
@@ -33,13 +49,13 @@ public:
     SimTime now() const { return now_; }
 
     /// Schedule `action` to run at absolute time `at` (must be >= now()).
-    EventId schedule_at(SimTime at, std::function<void()> action);
+    EventId schedule_at(SimTime at, EventFn action);
 
     /// Schedule `action` to run `delay` microseconds from now (delay >= 0).
-    EventId schedule_in(SimTime delay, std::function<void()> action);
+    EventId schedule_in(SimTime delay, EventFn action);
 
     /// Cancel a pending event. Returns false if the event already ran,
-    /// was already cancelled, or the id is unknown.
+    /// was already cancelled, or the id is unknown/stale.
     bool cancel(EventId id);
 
     /// Run events until the queue is empty or `stop()` is called.
@@ -56,27 +72,52 @@ public:
     std::size_t pending() const { return live_events_; }
     std::uint64_t processed() const { return processed_; }
 
+    // --- introspection (tests and micro-benchmarks) ---
+    /// Total slots ever allocated in the arena (live + recyclable).
+    std::size_t arena_slots() const { return slots_.size(); }
+    /// Time-index records (staged + heaped), live + stale-awaiting-drop.
+    /// Bounded at O(live) by compaction even under sustained cancel churn.
+    std::size_t heap_records() const { return heap_.size() + staging_.size(); }
+
 private:
-    struct Entry {
-        SimTime at;
-        std::uint64_t seq;  // tie-break: FIFO among same-time events
-        std::uint64_t id;
-        std::function<void()> action;
-        bool operator>(const Entry& other) const
-        {
-            if (at != other.at) return at > other.at;
-            return seq > other.seq;
-        }
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    struct Slot {
+        EventFn action;
+        SimTime at = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t gen = 1;
+        std::uint32_t next_free = kNoSlot;
+        bool armed = false;
     };
 
-    bool pop_and_run_next(SimTime limit);
+    struct HeapRecord {
+        SimTime at;
+        std::uint64_t seq;  // tie-break: FIFO among same-time events
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-    std::unordered_set<std::uint64_t> cancelled_;
-    std::unordered_set<std::uint64_t> pending_ids_;
+    /// Min-heap order on (at, seq).
+    static bool later(const HeapRecord& a, const HeapRecord& b)
+    {
+        if (a.at != b.at) return a.at > b.at;
+        return a.seq > b.seq;
+    }
+
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t index);
+    bool pop_and_run_next(SimTime limit);
+    void flush_staging();
+    void compact_heap();
+
+    std::vector<Slot> slots_;
+    std::vector<HeapRecord> heap_;
+    std::vector<HeapRecord> staging_;
+    std::uint32_t free_head_ = kNoSlot;
+    std::size_t stale_records_ = 0;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
-    std::uint64_t next_id_ = 1;
     std::size_t live_events_ = 0;
     std::uint64_t processed_ = 0;
     bool stopped_ = false;

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/scheduler.h"
+
+namespace ezflow::sim {
+
+/// A re-armable one-shot timer over the Scheduler, for the recurring
+/// timeouts of the MAC (DIFS, backoff slot, ACK/CTS timeout) and the
+/// pacer's release clock.
+///
+/// The callback is stored once at construction; every arm schedules only
+/// a `this`-capturing trampoline (inline in the event arena, no
+/// allocation), and re-arming or cancelling tracks the pending EventId so
+/// callers never juggle handles or hit stale-id bugs.
+class Timer {
+public:
+    Timer(Scheduler& scheduler, EventFn callback)
+        : scheduler_(scheduler), callback_(std::move(callback))
+    {
+        if (!callback_) throw std::invalid_argument("Timer: empty callback");
+    }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+    ~Timer() { cancel(); }
+
+    /// Arm to fire `delay` microseconds from now, replacing any pending
+    /// expiry.
+    void arm_in(SimTime delay)
+    {
+        cancel();
+        id_ = scheduler_.schedule_in(delay, [this] { fire(); });
+    }
+
+    /// Arm to fire at absolute time `at`, replacing any pending expiry.
+    void arm_at(SimTime at)
+    {
+        cancel();
+        id_ = scheduler_.schedule_at(at, [this] { fire(); });
+    }
+
+    /// Disarm. Returns true when a pending expiry was actually cancelled.
+    bool cancel()
+    {
+        if (!id_.valid()) return false;
+        const bool cancelled = scheduler_.cancel(id_);
+        id_ = EventId{};
+        return cancelled;
+    }
+
+    bool armed() const { return id_.valid(); }
+
+private:
+    void fire()
+    {
+        id_ = EventId{};  // cleared before the callback so it may re-arm
+        callback_();
+    }
+
+    Scheduler& scheduler_;
+    EventFn callback_;
+    EventId id_{};
+};
+
+}  // namespace ezflow::sim

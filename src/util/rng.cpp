@@ -5,6 +5,35 @@
 
 namespace ezflow::util {
 
+namespace {
+
+/// SplitMix64 finalizer (Steele et al.): a bijective avalanche mix, the
+/// standard recipe for deriving decorrelated seeds from sequential keys.
+std::uint64_t splitmix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : stream_key_(seed)
+{
+    // Expand the 64-bit key into enough entropy that sibling streams do
+    // not share correlated regions of the 19937-bit state.
+    std::uint64_t z = seed;
+    std::uint32_t words[8];
+    for (int i = 0; i < 4; ++i) {
+        z = splitmix64(z);
+        words[2 * i] = static_cast<std::uint32_t>(z);
+        words[2 * i + 1] = static_cast<std::uint32_t>(z >> 32);
+    }
+    std::seed_seq seq(words, words + 8);
+    engine_.seed(seq);
+}
+
 int Rng::uniform_int(int lo, int hi)
 {
     if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
@@ -50,12 +79,11 @@ int Rng::weighted_index(const std::vector<double>& weights)
 
 Rng Rng::fork()
 {
-    // SplitMix-style scramble of a fresh draw, so that the child stream is
-    // decorrelated from subsequent draws of the parent.
-    std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return Rng(z ^ (z >> 31));
+    // Key-based derivation: child key = mix(parent key, fork index). No
+    // engine draw is consumed, so fork order is a function of fork calls
+    // alone — drawing values between forks cannot re-route child streams.
+    ++fork_count_;
+    return Rng(splitmix64(stream_key_ ^ splitmix64(fork_count_)));
 }
 
 }  // namespace ezflow::util

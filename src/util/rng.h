@@ -10,12 +10,19 @@ namespace ezflow::util {
 ///
 /// A thin wrapper over std::mt19937_64 providing the distributions the
 /// simulator needs. Components that need independent streams derive them
-/// with `fork()`, which produces a child generator whose seed is a function
-/// of the parent state; two simulations built from the same root seed are
-/// bit-identical.
+/// with `fork()`.
+///
+/// Stream derivation is keyed, not drawn: every Rng carries a stream key,
+/// and the i-th fork of a stream is a SplitMix64 finalization of
+/// (key, i). Forking therefore never consumes engine state — interleaving
+/// draws and forks cannot shift which stream a child receives, which is
+/// what keeps parallel sweeps reproducible — and child engines are seeded
+/// through a seed_seq expansion of the child key so sibling streams share
+/// no correlated generator state. Two simulations built from the same
+/// root seed are bit-identical.
 class Rng {
 public:
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
     int uniform_int(int lo, int hi);
@@ -33,7 +40,9 @@ public:
     /// to weights[i]. Requires at least one strictly positive weight.
     int weighted_index(const std::vector<double>& weights);
 
-    /// Derive an independent child generator.
+    /// Derive an independent child generator. The n-th fork of a given
+    /// stream is the same regardless of how many values were drawn in
+    /// between.
     Rng fork();
 
     /// Raw 64-bit draw (used by hashing/property tests).
@@ -41,6 +50,8 @@ public:
 
 private:
     std::mt19937_64 engine_;
+    std::uint64_t stream_key_ = 0;
+    std::uint64_t fork_count_ = 0;
 };
 
 }  // namespace ezflow::util

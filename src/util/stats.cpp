@@ -81,6 +81,21 @@ double TimeSeries::stddev_between(SimTime from, SimTime to) const
     return s.stddev();
 }
 
+double ci95_halfwidth(const RunningStats& stats)
+{
+    const std::int64_t n = stats.count();
+    if (n < 2) return 0.0;
+    // t_{0.975, df} for df = 1..30; beyond that the normal quantile.
+    static constexpr double kT975[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    const std::int64_t df = n - 1;
+    const double t = df <= 30 ? kT975[df - 1] : 1.960;
+    return t * stats.stddev() / std::sqrt(static_cast<double>(n));
+}
+
 double percentile(std::vector<double> values, double p)
 {
     if (values.empty()) throw std::invalid_argument("percentile: empty sample");

@@ -58,4 +58,10 @@ private:
 /// Percentile of a sample set (linear interpolation, p in [0,100]).
 double percentile(std::vector<double> values, double p);
 
+/// Half-width of the two-sided 95% confidence interval of the mean:
+/// t_{0.975, n-1} * stddev / sqrt(n). Student-t critical values are used
+/// for the small seed counts typical of sweeps (n <= 30), the normal
+/// approximation beyond. Zero for fewer than two samples.
+double ci95_halfwidth(const RunningStats& stats);
+
 }  // namespace ezflow::util

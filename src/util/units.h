@@ -15,6 +15,10 @@ inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
+/// Shared by the propagation and topology geometry (C++17 has no
+/// std::numbers::pi).
+inline constexpr double kPi = 3.14159265358979323846;
+
 /// Convert a microsecond timestamp to (floating) seconds, for reporting.
 constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
 

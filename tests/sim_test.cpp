@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheduler.h"
+#include "sim/timer.h"
 
 namespace ezflow::sim {
 namespace {
@@ -35,6 +37,28 @@ TEST(Scheduler, SameTimeEventsFifo)
     for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// The FIFO tie-break must survive slot recycling: cancelling events hands
+// their arena slots back, and same-time events scheduled afterwards reuse
+// those slots — their firing order is still scheduling order, not slot
+// order.
+TEST(Scheduler, SameTimeFifoUnderInterleavedScheduleCancel)
+{
+    Scheduler s;
+    std::vector<int> order;
+    std::vector<EventId> doomed;
+    for (int round = 0; round < 8; ++round) {
+        // Two keepers and one cancelled event per round, all at t = 100.
+        order.reserve(16);
+        s.schedule_at(100, [&order, round] { order.push_back(2 * round); });
+        doomed.push_back(s.schedule_at(100, [&order] { order.push_back(-1); }));
+        s.schedule_at(100, [&order, round] { order.push_back(2 * round + 1); });
+        EXPECT_TRUE(s.cancel(doomed.back()));
+    }
+    s.run();
+    ASSERT_EQ(order.size(), 16u);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(Scheduler, ScheduleInIsRelative)
 {
     Scheduler s;
@@ -56,7 +80,7 @@ TEST(Scheduler, RejectsPastAndNegative)
 TEST(Scheduler, RejectsEmptyAction)
 {
     Scheduler s;
-    EXPECT_THROW(s.schedule_at(1, std::function<void()>{}), std::invalid_argument);
+    EXPECT_THROW(s.schedule_at(1, EventFn{}), std::invalid_argument);
 }
 
 TEST(Scheduler, CancelPreventsExecution)
@@ -77,7 +101,9 @@ TEST(Scheduler, CancelTwiceReturnsFalse)
     EXPECT_FALSE(s.cancel(id));
 }
 
-TEST(Scheduler, CancelAfterRunReturnsFalse)
+// An id whose event already ran must never cancel anything — even though
+// the arena slot behind it may have been recycled for a newer event.
+TEST(Scheduler, CancelAfterFireReturnsFalse)
 {
     Scheduler s;
     const EventId id = s.schedule_at(10, [] {});
@@ -85,11 +111,58 @@ TEST(Scheduler, CancelAfterRunReturnsFalse)
     EXPECT_FALSE(s.cancel(id));
 }
 
+TEST(Scheduler, StaleIdCannotCancelSlotReuser)
+{
+    Scheduler s;
+    const EventId first = s.schedule_at(10, [] {});
+    s.run();  // fires; slot goes back to the free list
+
+    bool second_fired = false;
+    const EventId second = s.schedule_at(20, [&] { second_fired = true; });
+    // The arena recycled the slot; only the generation differs.
+    EXPECT_EQ(first.slot, second.slot);
+    EXPECT_NE(first.gen, second.gen);
+
+    EXPECT_FALSE(s.cancel(first));  // stale handle must not hit the new event
+    s.run();
+    EXPECT_TRUE(second_fired);
+}
+
 TEST(Scheduler, CancelInvalidIdReturnsFalse)
 {
     Scheduler s;
     EXPECT_FALSE(s.cancel(EventId{}));
-    EXPECT_FALSE(s.cancel(EventId{12345}));
+    EXPECT_FALSE(s.cancel(EventId{12345, 1}));  // slot never allocated
+}
+
+TEST(Scheduler, ArenaRecyclesSlots)
+{
+    Scheduler s;
+    // Sequential schedule/fire churn touches one slot over and over.
+    for (int i = 1; i <= 1000; ++i) {
+        s.schedule_at(i, [] {});
+        s.run();
+    }
+    EXPECT_EQ(s.arena_slots(), 1u);
+    EXPECT_EQ(s.processed(), 1000u);
+}
+
+// Sustained cancel churn (the MAC arms and cancels an ACK timeout per
+// frame) must not accumulate tombstones: the heap compacts itself and
+// stays proportional to the live event count.
+TEST(Scheduler, CancelChurnDoesNotGrowHeap)
+{
+    Scheduler s;
+    s.schedule_at(1'000'000, [] {});  // one long-lived event
+    for (int i = 0; i < 100000; ++i) {
+        const EventId id = s.schedule_in(500, [] {});
+        EXPECT_TRUE(s.cancel(id));
+    }
+    EXPECT_EQ(s.pending(), 1u);
+    EXPECT_LE(s.heap_records(), 130u);  // compaction threshold, not O(cancels)
+    EXPECT_LE(s.arena_slots(), 2u);
+    s.run();
+    EXPECT_EQ(s.processed(), 1u);
 }
 
 TEST(Scheduler, RunUntilStopsAtBoundaryAndAdvancesClock)
@@ -113,6 +186,24 @@ TEST(Scheduler, RunUntilRejectsPast)
     s.schedule_at(50, [] {});
     s.run_until(50);
     EXPECT_THROW(s.run_until(10), std::invalid_argument);
+}
+
+// Cancelled events whose timestamps lie beyond the run_until horizon must
+// not pin their tombstones: pending() reflects only live events and a
+// later run_until does not fire them.
+TEST(Scheduler, RunUntilWithCancelledEventsBeyondHorizon)
+{
+    Scheduler s;
+    bool fired = false;
+    const EventId id = s.schedule_at(1000, [&] { fired = true; });
+    s.schedule_at(10, [] {});
+    s.run_until(100);
+    EXPECT_EQ(s.pending(), 1u);
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_EQ(s.pending(), 0u);
+    s.run_until(2000);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(s.now(), 2000);
 }
 
 TEST(Scheduler, StopHaltsProcessing)
@@ -175,6 +266,109 @@ TEST(Scheduler, CancellationInsideHandler)
     s.schedule_at(5, [&] { EXPECT_TRUE(s.cancel(second)); });
     s.run();
     EXPECT_FALSE(second_fired);
+}
+
+TEST(EventFn, SmallCapturesStayInline)
+{
+    int hits = 0;
+    int* p = &hits;
+    EventFn fn([p] { ++*p; });
+    EXPECT_TRUE(fn.is_inline());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, LargeCapturesFallBackToHeap)
+{
+    struct Big {
+        double payload[40];
+    };
+    Big big{};
+    big.payload[0] = 1.5;
+    double seen = 0.0;
+    EventFn fn([big, &seen] { seen = big.payload[0]; });
+    EXPECT_FALSE(fn.is_inline());
+    fn();
+    EXPECT_EQ(seen, 1.5);
+}
+
+TEST(EventFn, MoveTransfersOwnership)
+{
+    int hits = 0;
+    EventFn a([&] { ++hits; });
+    EventFn b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+    // Move a heap-stored callable too.
+    auto owned = std::make_unique<int>(7);
+    int seen = 0;
+    struct Pad {
+        double fill[32];
+    };
+    Pad pad{};
+    EventFn c([&seen, pad, ptr = std::move(owned)] {
+        (void)pad;
+        seen = *ptr;
+    });
+    EXPECT_FALSE(c.is_inline());
+    EventFn d(std::move(c));
+    d();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(Timer, FiresOnceAndCanRearm)
+{
+    Scheduler s;
+    int fired = 0;
+    Timer t(s, [&] { ++fired; });
+    t.arm_in(10);
+    EXPECT_TRUE(t.armed());
+    s.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(t.armed());
+    t.arm_in(5);
+    s.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, RearmReplacesPendingExpiry)
+{
+    Scheduler s;
+    std::vector<SimTime> fire_times;
+    Timer t(s, [&] { fire_times.push_back(s.now()); });
+    t.arm_at(10);
+    t.arm_at(25);  // supersedes the first arm
+    s.run();
+    EXPECT_EQ(fire_times, (std::vector<SimTime>{25}));
+}
+
+TEST(Timer, CancelReportsWhetherPending)
+{
+    Scheduler s;
+    Timer t(s, [] {});
+    EXPECT_FALSE(t.cancel());
+    t.arm_in(10);
+    EXPECT_TRUE(t.cancel());
+    EXPECT_FALSE(t.armed());
+    s.run();
+    EXPECT_EQ(s.processed(), 0u);
+}
+
+TEST(Timer, CallbackMayRearmItself)
+{
+    Scheduler s;
+    int ticks = 0;
+    std::unique_ptr<Timer> t;
+    t = std::make_unique<Timer>(s, [&] {
+        if (++ticks < 5) t->arm_in(10);
+    });
+    t->arm_in(10);
+    s.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(s.now(), 50);
 }
 
 }  // namespace
