@@ -1,82 +1,11 @@
-// Ablation (paper's conclusion): the routing-layer rate-pacing variant of
-// EZ-Flow vs the CWmin variant. The conclusion proposes pacing for dense
-// deployments where per-successor MAC queues run out; this bench checks
-// that pacing achieves the same stabilization on the 4-hop chain, with
-// the backlog held above the MAC instead of inside it.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_pacer".
+// Equivalent to `ezflow run ablation_pacer`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "core/pacer.h"
-#include "traffic/sink.h"
-#include "traffic/source.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct Row {
-    std::string policy;
-    double goodput;
-    double mac_b1;
-    double delay_s;
-};
-
-Row run_cw_variant(const BenchArgs& args, Mode mode, double duration_s)
-{
-    ExperimentOptions options;
-    options.mode = mode;
-    Experiment exp(net::make_line(4, duration_s, args.seed), options);
-    exp.run();
-    const double from = 0.5 * duration_s;
-    const auto summary = exp.summarize(0, from, duration_s);
-    return Row{mode_name(mode), summary.mean_kbps,
-               exp.buffers().mean_occupancy(1, util::from_seconds(from),
-                                            util::from_seconds(duration_s)),
-               summary.mean_delay_s};
-}
-
-Row run_paced(const BenchArgs& args, double duration_s)
-{
-    net::Scenario scenario = net::make_line(4, duration_s, args.seed);
-    net::Network& network = *scenario.network;
-    auto agents = core::install_paced_ezflow(network, core::PacedEzFlowAgent::Options{});
-    traffic::Sink sink(network);
-    sink.attach_flow(0);
-    analysis::BufferTracer tracer(network, {1}, 100 * util::kMillisecond);
-    tracer.start();
-    traffic::CbrSource source(network, 0, 1000, 2e6);
-    source.activate(util::from_seconds(5), util::from_seconds(duration_s));
-    network.run_until(util::from_seconds(duration_s));
-    const double from = 0.5 * duration_s;
-    const auto& rec = sink.flow(0);
-    return Row{"EZ-flow (paced)", sink.goodput_kbps(0, util::from_seconds(from),
-                                                    util::from_seconds(duration_s)),
-               tracer.mean_occupancy(1, util::from_seconds(from), util::from_seconds(duration_s)),
-               rec.delay_series.mean_between(util::from_seconds(from),
-                                             util::from_seconds(duration_s)) /
-                   static_cast<double>(util::kSecond)};
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 4000.0 * args.scale;
-    print_header("ablation_pacer: CWmin control vs routing-layer rate pacing",
-                 "Conclusion — the pacing variant for dense neighbourhoods");
-    util::Table table({"policy", "goodput [kb/s]", "MAC b1 [pkts]", "delay [s]"});
-    for (const Row& r : {run_cw_variant(args, Mode::kBaseline80211, duration_s),
-                         run_cw_variant(args, Mode::kEzFlow, duration_s),
-                         run_paced(args, duration_s)}) {
-        table.add_row({r.policy, util::Table::num(r.goodput, 1), util::Table::num(r.mac_b1, 1),
-                       util::Table::num(r.delay_s, 2)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: both EZ-flow variants drain the first relay's MAC buffer\n"
-        "that plain 802.11 saturates; the paced variant keeps its backlog in the\n"
-        "routing layer without touching any MAC parameter at all.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_pacer", argc, argv);
 }

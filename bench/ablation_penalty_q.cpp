@@ -1,62 +1,11 @@
-// Ablation (Sec. 2.3): the static penalty policy of [9] stabilizes a
-// chain when its throttling factor q matches the topology — but q is
-// topology-dependent, which is exactly why EZ-Flow exists. This bench
-// sweeps q over 3-, 4- and 5-hop chains and compares against EZ-Flow's
-// self-tuned result.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_penalty_q".
+// Equivalent to `ezflow run ablation_penalty_q`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct Outcome {
-    double b_worst;  ///< worst mean relay backlog
-    double goodput_kbps;
-};
-
-Outcome run(const BenchArgs& args, int hops, Mode mode, double q)
-{
-    const double duration_s = 4000.0 * args.scale;
-    ExperimentOptions options;
-    options.mode = mode;
-    options.penalty.relay_cw = 1 << 4;
-    options.penalty.q = q;
-    Experiment exp(net::make_line(hops, duration_s, args.seed), options);
-    exp.run();
-    const double warmup = 0.4 * duration_s;
-    Outcome o{0.0, exp.summarize(0, warmup, duration_s).mean_kbps};
-    for (int n = 1; n < hops; ++n)
-        o.b_worst = std::max(o.b_worst,
-                             exp.buffers().mean_occupancy(n, util::from_seconds(warmup),
-                                                          util::from_seconds(duration_s + 5)));
-    return o;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    print_header("ablation_penalty_q: static penalty of [9] vs self-tuning EZ-Flow",
-                 "Sec. 2.3 — q is topology-dependent; EZ-flow discovers it online");
-    util::Table table({"hops", "policy", "worst relay buffer [pkts]", "goodput [kb/s]"});
-    for (const int hops : {3, 4, 5}) {
-        for (const double q : {1.0, 1.0 / 4.0, 1.0 / 16.0, 1.0 / 64.0}) {
-            const Outcome o = run(args, hops, Mode::kPenalty, q);
-            table.add_row({std::to_string(hops), "penalty q=1/" + std::to_string(int(1.0 / q)),
-                           util::Table::num(o.b_worst, 1), util::Table::num(o.goodput_kbps, 1)});
-        }
-        const Outcome ez = run(args, hops, Mode::kEzFlow, 1.0);
-        table.add_row({std::to_string(hops), "EZ-flow (self-tuned)", util::Table::num(ez.b_worst, 1),
-                       util::Table::num(ez.goodput_kbps, 1)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: no single q works everywhere — q = 1 (plain 802.11)\n"
-        "saturates relays, very small q wastes capacity on short chains. EZ-flow\n"
-        "matches the best static q per topology without knowing it in advance.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_penalty_q", argc, argv);
 }

@@ -1,72 +1,11 @@
-// Ablation (DESIGN.md §4.0): the capture effect is load-bearing for the
-// paper's phenomena. With ns-2's 10 dB capture threshold the 3-hop chain
-// is stable and the 4-hop chain saturates its first relay (Fig. 1); with
-// capture disabled (threshold -> infinity) every overlap corrupts, far
-// ACKs puncture strong links, and the dichotomy is destroyed.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_phy_capture".
+// Equivalent to `ezflow run ablation_phy_capture`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "traffic/sink.h"
-#include "traffic/source.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-
-struct Row {
-    double b1;
-    double b_last;
-    double goodput;
-};
-
-Row run(const BenchArgs& args, int hops, double capture_threshold, double duration_s)
-{
-    net::Network::Config config = net::testbed_config(args.seed);
-    config.phy.capture_threshold = capture_threshold;
-    net::Network network(config);
-    std::vector<net::NodeId> path;
-    for (int i = 0; i <= hops; ++i) path.push_back(network.add_node({200.0 * i, 0.0}));
-    network.add_flow(0, path);
-    traffic::Sink sink(network);
-    sink.attach_flow(0);
-    analysis::BufferTracer tracer(network, {path.begin() + 1, path.end() - 1},
-                                  100 * util::kMillisecond);
-    tracer.start();
-    traffic::CbrSource source(network, 0, 1000, 2e6);
-    source.activate(util::from_seconds(5), util::from_seconds(duration_s));
-    network.run_until(util::from_seconds(duration_s));
-    const double from = 0.4 * duration_s;
-    Row row{};
-    row.b1 = tracer.mean_occupancy(1, util::from_seconds(from), util::from_seconds(duration_s));
-    row.b_last = tracer.mean_occupancy(hops - 1, util::from_seconds(from),
-                                       util::from_seconds(duration_s));
-    row.goodput =
-        sink.goodput_kbps(0, util::from_seconds(from), util::from_seconds(duration_s));
-    return row;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 1800.0 * args.scale;
-    print_header("ablation_phy_capture: capture threshold vs the Fig. 1 dichotomy",
-                 "modelling ablation — why SIR capture is required to reproduce the paper");
-    util::Table table({"capture", "hops", "b1 [pkts]", "b_last [pkts]", "goodput [kb/s]"});
-    for (const double threshold : {10.0, 1e9}) {
-        for (const int hops : {3, 4}) {
-            const Row r = run(args, hops, threshold, duration_s);
-            table.add_row({threshold < 1e6 ? "10 dB (ns-2)" : "disabled", std::to_string(hops),
-                           util::Table::num(r.b1, 1), util::Table::num(r.b_last, 1),
-                           util::Table::num(r.goodput, 1)});
-        }
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: with 10 dB capture, 3-hop stays drained while 4-hop's\n"
-        "first relay saturates (the paper's Fig. 1). With capture disabled the\n"
-        "structure degrades: far interferers corrupt receptions they physically\n"
-        "could not, and congestion appears in the wrong places.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_phy_capture", argc, argv);
 }

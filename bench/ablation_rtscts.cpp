@@ -1,78 +1,11 @@
-// Ablation (§5.1): the paper disables RTS/CTS, arguing that (i) real
-// deployments disable it by default and (ii) it is useless when the
-// carrier-sense range (550 m) already covers the area an RTS/CTS exchange
-// would reserve (2 x 250 m). This bench tests the claim in both
-// carrier-sense regimes: with ns-2's 550 m CS the handshake is pure
-// overhead; with the testbed's 1-hop CS (hidden 2-hop neighbours) it buys
-// cheap collision recovery but costs airtime per frame — and EZ-Flow
-// beats it either way by removing the collisions' cause.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_rtscts".
+// Equivalent to `ezflow run ablation_rtscts`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "traffic/sink.h"
-#include "traffic/source.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct Row {
-    double goodput;
-    double b1;
-};
-
-Row run(const BenchArgs& args, double cs_range, bool rts, bool ezflow, double duration_s)
-{
-    net::Network::Config config = net::default_config(args.seed);
-    config.phy.cs_range_m = cs_range;
-    config.mac.rts_cts_enabled = rts;
-    net::Network network(config);
-    std::vector<net::NodeId> path;
-    for (int i = 0; i <= 4; ++i) path.push_back(network.add_node({200.0 * i, 0.0}));
-    network.add_flow(0, path);
-
-    std::map<net::NodeId, std::unique_ptr<core::EzFlowAgent>> agents;
-    if (ezflow) agents = core::install_ezflow(network, core::CaaConfig{});
-
-    traffic::Sink sink(network);
-    sink.attach_flow(0);
-    analysis::BufferTracer tracer(network, {1}, 100 * util::kMillisecond);
-    tracer.start();
-    traffic::CbrSource source(network, 0, 1000, 2e6);
-    source.activate(util::from_seconds(5), util::from_seconds(duration_s));
-    network.run_until(util::from_seconds(duration_s));
-    const double from = 0.4 * duration_s;
-    return Row{sink.goodput_kbps(0, util::from_seconds(from), util::from_seconds(duration_s)),
-               tracer.mean_occupancy(1, util::from_seconds(from), util::from_seconds(duration_s))};
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 3000.0 * args.scale;
-    print_header("ablation_rtscts: is RTS/CTS an alternative to EZ-Flow?",
-                 "§5.1 — the paper disables RTS/CTS; EZ-flow attacks the cause instead");
-    util::Table table({"CS regime", "MAC", "goodput [kb/s]", "b1 [pkts]"});
-    for (const double cs : {550.0, 250.0}) {
-        const std::string regime = cs > 400 ? "ns-2 (550 m)" : "testbed (1-hop)";
-        const Row basic = run(args, cs, false, false, duration_s);
-        const Row rts = run(args, cs, true, false, duration_s);
-        const Row ez = run(args, cs, false, true, duration_s);
-        table.add_row({regime, "802.11 basic", util::Table::num(basic.goodput, 1),
-                       util::Table::num(basic.b1, 1)});
-        table.add_row({regime, "802.11 + RTS/CTS", util::Table::num(rts.goodput, 1),
-                       util::Table::num(rts.b1, 1)});
-        table.add_row({regime, "EZ-flow (no RTS)", util::Table::num(ez.goodput, 1),
-                       util::Table::num(ez.b1, 1)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: under 550 m carrier sense the handshake only costs\n"
-        "airtime (the paper's argument (ii)). Under 1-hop sensing it softens the\n"
-        "hidden-terminal losses but does not drain the relay buffers; EZ-flow\n"
-        "does, at full goodput, without per-frame overhead.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_rtscts", argc, argv);
 }

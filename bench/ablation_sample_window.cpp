@@ -1,55 +1,11 @@
-// Ablation (Sec. 3.3): the CAA averages 50 BOE samples per decision. This
-// sweep varies the window to expose the averaging-vs-reactivity trade-off
-// on a load-changing workload (second flow joins and leaves, as in
-// scenario 1's timeline).
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_sample_window".
+// Equivalent to `ezflow run ablation_sample_window`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 6000.0 * args.scale;
-    print_header("ablation_sample_window: CAA decision window sweep",
-                 "Sec. 3.3 / Alg. 1 — decisions every 50 BOE samples");
-    util::Table table({"window", "b1 mean [pkts]", "goodput [kb/s]", "delay [s]",
-                       "cw changes @src"});
-    for (const int window : {5, 20, 50, 200, 1000}) {
-        ExperimentOptions options;
-        options.mode = Mode::kEzFlow;
-        options.caa.sample_window = window;
-        // F2 joins for the middle third of the run.
-        net::Scenario scenario = net::make_testbed(5.0, duration_s, duration_s / 3.0,
-                                                   2.0 * duration_s / 3.0, args.seed);
-        Experiment exp(std::move(scenario), options);
-        exp.run_until_s(duration_s);
-        const double warmup = 0.15 * duration_s;
-        const auto summary = exp.summarize(1, warmup, duration_s);
-        const auto* agent = exp.agent(0);
-        std::uint64_t changes = 0;
-        if (agent != nullptr) {
-            for (const auto& [succ, state] : agent->successors())
-                changes += state->caa->increases() + state->caa->decreases();
-        }
-        table.add_row(
-            {std::to_string(window),
-             util::Table::num(exp.buffers().mean_occupancy(1, util::from_seconds(warmup),
-                                                           util::from_seconds(duration_s)),
-                              1),
-             util::Table::num(summary.mean_kbps, 1), util::Table::num(summary.mean_delay_s, 2),
-             std::to_string(changes)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: tiny windows over-react (more cw churn for no gain);\n"
-        "huge windows adapt sluggishly when the second flow joins. The paper's 50\n"
-        "sits in the flat middle of the trade-off.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_sample_window", argc, argv);
 }

@@ -1,49 +1,11 @@
-// Ablation (Sec. 3.2): robustness of the BOE to missed sniffs. The paper
-// claims EZ-Flow keeps working even when most forwarded packets are not
-// overheard (hidden nodes, channel variability) — missing samples only
-// slow the reaction. This sweep drops a fraction of sniffed frames before
-// they reach the BOE.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_sniff_loss".
+// Equivalent to `ezflow run ablation_sniff_loss`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 6000.0 * args.scale;
-    print_header("ablation_sniff_loss: EZ-Flow under missed sniffs",
-                 "Sec. 3.2 — 'invulnerability of EZ-flow to forwarded packets that are "
-                 "not overheard'");
-    util::Table table(
-        {"sniff loss", "b1 mean [pkts]", "goodput [kb/s]", "delay [s]", "source cw"});
-    for (const double loss : {0.0, 0.5, 0.8, 0.95}) {
-        ExperimentOptions options;
-        options.mode = Mode::kEzFlow;
-        options.boe_sniff_loss = loss;
-        Experiment exp(net::make_line(4, duration_s, args.seed), options);
-        exp.run();
-        const double warmup = 0.4 * duration_s;
-        const auto summary = exp.summarize(0, warmup, duration_s);
-        const auto* agent = exp.agent(0);
-        table.add_row(
-            {util::Table::num(loss, 2),
-             util::Table::num(exp.buffers().mean_occupancy(1, util::from_seconds(warmup),
-                                                           util::from_seconds(duration_s + 5)),
-                              1),
-             util::Table::num(summary.mean_kbps, 1), util::Table::num(summary.mean_delay_s, 2),
-             std::to_string(agent != nullptr ? agent->cw_toward(1) : -1)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: stabilization persists across the sweep — the relay\n"
-        "buffer stays drained and goodput flat even when 95%% of sniffs are lost;\n"
-        "only the convergence time stretches.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_sniff_loss", argc, argv);
 }

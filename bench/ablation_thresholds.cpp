@@ -1,61 +1,11 @@
-// Ablation (Sec. 3.3): sensitivity of EZ-Flow to the bmin/bmax thresholds.
-// The paper argues bmin must be very small (~0.1) so nodes do not turn
-// aggressive too eagerly, while bmax mainly tunes reactivity. This sweep
-// runs the 4-hop chain for a grid of (bmin, bmax) values.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "ablation_thresholds".
+// Equivalent to `ezflow run ablation_thresholds`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct Result {
-    double b1_mean;
-    double goodput_kbps;
-    double delay_s;
-};
-
-Result run(const BenchArgs& args, double bmin, double bmax)
-{
-    const double duration_s = 600.0 * args.scale * 10.0;  // default scale 0.1 -> 600 s
-    ExperimentOptions options;
-    options.mode = Mode::kEzFlow;
-    options.caa.bmin = bmin;
-    options.caa.bmax = bmax;
-    Experiment exp(net::make_line(4, duration_s, args.seed), options);
-    exp.run();
-    const double warmup = 0.4 * duration_s;
-    Result r;
-    r.b1_mean = exp.buffers().mean_occupancy(1, util::from_seconds(warmup),
-                                             util::from_seconds(duration_s + 5));
-    const auto summary = exp.summarize(0, warmup, duration_s);
-    r.goodput_kbps = summary.mean_kbps;
-    r.delay_s = summary.mean_delay_s;
-    return r;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    print_header("ablation_thresholds: bmin/bmax sensitivity on the 4-hop chain",
-                 "Sec. 3.3 — small bmin is essential; bmax trades reactivity for calm");
-    util::Table table({"bmin", "bmax", "b1 mean [pkts]", "goodput [kb/s]", "delay [s]"});
-    for (const double bmin : {0.05, 0.5, 2.0}) {
-        for (const double bmax : {10.0, 20.0, 40.0}) {
-            const Result r = run(args, bmin, bmax);
-            table.add_row({util::Table::num(bmin, 2), util::Table::num(bmax, 0),
-                           util::Table::num(r.b1_mean, 1), util::Table::num(r.goodput_kbps, 1),
-                           util::Table::num(r.delay_s, 2)});
-        }
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: the paper's (0.05, 20) keeps the relay drained at full\n"
-        "goodput. Large bmin values make nodes regain aggressiveness too easily\n"
-        "(higher buffers/delay); the bmax choice matters much less.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("ablation_thresholds", argc, argv);
 }

@@ -1,52 +1,11 @@
-// Figure 1: buffer evolution of the relay nodes in 3- and 4-hop chains
-// under plain IEEE 802.11. The 3-hop network is stable; the 4-hop network
-// is turbulent, with the first relay's buffer building up to saturation.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig01".
+// Equivalent to `ezflow run fig01`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-void run_chain(const BenchArgs& args, int hops)
-{
-    const double duration_s = 1800.0 * args.scale;
-    ExperimentOptions options;
-    options.mode = Mode::kBaseline80211;
-    Experiment exp(net::make_line(hops, duration_s, args.seed), options);
-    exp.run();
-
-    std::printf("\n%d-hop chain, IEEE 802.11, %.0f s:\n", hops, duration_s);
-    util::Table table({"relay", "mean buffer [pkts]", "max buffer [pkts]", "drops"});
-    const double warmup = 0.2 * duration_s;
-    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
-    for (int n = 1; n < hops; ++n) {
-        table.add_row({"N" + std::to_string(n),
-                       util::Table::num(exp.buffers().mean_occupancy(
-                           n, util::from_seconds(warmup), util::from_seconds(duration_s + 5))),
-                       util::Table::num(exp.buffers().max_occupancy(n), 0),
-                       std::to_string(exp.network().node(n).forward_queue_drops())});
-        series.emplace_back("N" + std::to_string(n), &exp.buffers().trace(n));
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf("end-to-end goodput: %.1f kb/s\n",
-                exp.summarize(0, warmup, duration_s).mean_kbps);
-    maybe_dump_series(args, "fig01_" + std::to_string(hops) + "hop", series);
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.12);
-    print_header("fig01_instability: relay buffers, 3-hop vs 4-hop chain",
-                 "Fig. 1 — 3-hop stable, 4-hop first relay saturates");
-    run_chain(args, 3);
-    run_chain(args, 4);
-    std::printf(
-        "\nExpected shape (paper): 3-hop relay buffers stay bounded well below the\n"
-        "50-packet cap; the 4-hop chain's first relay rides the cap and drops packets.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig01", argc, argv);
 }

@@ -1,83 +1,11 @@
-// Figure 4: buffer evolution of the relay nodes on the testbed when flow
-// F1 (7 hops) or F2 (4 hops) runs alone, with and without EZ-Flow.
-// The testbed's MadWifi driver capped CWmin at 2^10; the same cap is
-// applied to the EZ-Flow runs here (the paper shows the limit keeps N1
-// from draining fully on F1's path).
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig04".
+// Equivalent to `ezflow run fig04`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct FlowCase {
-    const char* name;
-    int flow_id;
-    std::vector<int> relays;  ///< labels of the relay nodes the paper plots
-};
-
-void run_case(const BenchArgs& args, const FlowCase& fc, Mode mode)
-{
-    const double duration_s = 2000.0 * args.scale;
-    // Activate only the flow under test (the other gets a null window).
-    const bool is_f1 = fc.flow_id == 1;
-    net::Scenario scenario =
-        net::make_testbed(is_f1 ? 5.0 : duration_s, is_f1 ? duration_s : duration_s + 0.001,
-                          is_f1 ? duration_s : 5.0, is_f1 ? duration_s + 0.001 : duration_s,
-                          args.seed);
-    ExperimentOptions options;
-    options.mode = mode;
-    options.caa.max_cw = 1 << 10;  // MadWifi hardware limit (Sec. 4.1)
-    Experiment exp(std::move(scenario), options);
-    exp.run_until_s(duration_s);
-
-    std::printf("\n%s, %s:\n", fc.name, mode_name(mode).c_str());
-    util::Table table({"relay", "mean buffer [pkts]", "max buffer [pkts]"});
-    const double warmup = 0.25 * duration_s;
-    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
-    for (int n : fc.relays) {
-        table.add_row({"N" + std::to_string(n),
-                       util::Table::num(exp.buffers().mean_occupancy(
-                           n, util::from_seconds(warmup), util::from_seconds(duration_s))),
-                       util::Table::num(exp.buffers().max_occupancy(n), 0)});
-        series.emplace_back("N" + std::to_string(n), &exp.buffers().trace(n));
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf("goodput: %.1f kb/s\n",
-                exp.summarize(fc.flow_id, warmup, duration_s).mean_kbps);
-    if (mode == Mode::kEzFlow) {
-        const auto* src = exp.agent(exp.scenario().flows[static_cast<std::size_t>(fc.flow_id - 1)].path[0]);
-        if (src != nullptr) {
-            const auto succ = exp.scenario().flows[static_cast<std::size_t>(fc.flow_id - 1)].path[1];
-            std::printf("source cw: %d (hardware cap 2^10 = 1024)\n", src->cw_toward(succ));
-        }
-    }
-    maybe_dump_series(args,
-                      std::string("fig04_") + fc.name + "_" +
-                          (mode == Mode::kEzFlow ? "ezflow" : "80211"),
-                      series);
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    print_header("fig04_testbed_buffers: testbed relay buffers with/without EZ-Flow",
-                 "Fig. 4 — 802.11: ~42-44 pkts at N1/N2 (F1) and N4 (F2); "
-                 "EZ-flow: 29.5 / 5.2 / 5.3");
-    const FlowCase f1{"F1", 1, {1, 2, 3}};
-    const FlowCase f2{"F2", 2, {4, 5, 6}};
-    for (const FlowCase& fc : {f1, f2}) {
-        run_case(args, fc, Mode::kBaseline80211);
-        run_case(args, fc, Mode::kEzFlow);
-    }
-    std::printf(
-        "\nExpected shape: under 802.11 the relays before the bottleneck saturate\n"
-        "(F1: N1, N2 at the l2 bottleneck; F2: N4). EZ-flow drains them by an order\n"
-        "of magnitude; F1's N1 stays partially loaded because the 2^10 cw cap limits\n"
-        "how far the source can throttle itself.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig04", argc, argv);
 }

@@ -1,56 +1,11 @@
-// Figure 6: throughput over time of flows F1 and F2 in scenario 1 (two
-// 8-hop flows merging toward a gateway), with standard IEEE 802.11 and
-// with EZ-Flow. The paper's per-period means: F1 alone 153.2 -> 183.9 kb/s
-// (+20%); both flows 76.5 -> 82.1 kb/s average. Each mode is swept over
-// --seeds root seeds in parallel and reported as mean +/- 95% CI.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig06".
+// Equivalent to `ezflow run fig06`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-void report(const BenchArgs& args, const SweepResult& result, Mode mode)
-{
-    std::printf("\nscenario 1, %s:\n", mode_name(mode).c_str());
-    util::Table table({"period", "F1 [kb/s]", "F2 [kb/s]", "aggregate [kb/s]"});
-    const char* labels[] = {"F1 alone", "F1 + F2", "F1 alone again"};
-    for (std::size_t w = 0; w < result.windows.size(); ++w) {
-        const WindowAggregate& window = result.windows[w];
-        table.add_row({labels[w], with_ci(window.flows[0].mean_kbps, 1),
-                       window.flows.size() > 1 ? with_ci(window.flows[1].mean_kbps, 1)
-                                               : std::string("-"),
-                       with_ci(window.aggregate_kbps, 1)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    print_sweep_footer(args, result);
-
-    if (!result.experiments.empty()) {
-        Experiment& first = *result.experiments.front();
-        maybe_dump_series(args,
-                          std::string("fig06_") + (mode == Mode::kEzFlow ? "ezflow" : "80211"),
-                          {{"F1", &first.throughput(1).series()},
-                           {"F2", &first.throughput(2).series()}});
-    }
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.3);
-    print_header("fig06_scenario1_throughput: throughput vs time, 2-flow merge",
-                 "Fig. 6 — EZ-flow raises F1-alone throughput ~20% and smooths both flows");
-    const Scenario1Periods periods(args.scale);
-    const std::vector<Mode> modes = {Mode::kBaseline80211, Mode::kEzFlow};
-    const auto results =
-        sweep_modes(args, ScenarioSpec::scenario1(args.scale), modes, periods.windows());
-    for (std::size_t m = 0; m < modes.size(); ++m) report(args, results[m], modes[m]);
-    std::printf(
-        "\nExpected shape: EZ-flow improves the single-flow period's throughput\n"
-        "(~20%% in the paper) and keeps the two-flow period smoother (lower spread)\n"
-        "at an equal or better aggregate.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig06", argc, argv);
 }

@@ -1,65 +1,11 @@
-// Figure 7: end-to-end delay over time of flows F1 and F2 in scenario 1.
-// Paper: 802.11 suffers ~4.1 s single-flow delay (5.8 s with both flows);
-// EZ-Flow drops it to ~0.2 s with two transient peaks at the traffic
-// matrix changes (flow F2 arriving, and the post-arrival re-convergence).
-// Swept over --seeds root seeds in parallel; cells are mean +/- 95% CI.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig07".
+// Equivalent to `ezflow run fig07`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-void report(const BenchArgs& args, const SweepResult& result, Mode mode, double transient_to_s)
-{
-    std::printf("\nscenario 1, %s:\n", mode_name(mode).c_str());
-    util::Table table({"period", "F1 mean delay [s]", "F1 max [s]", "F2 mean delay [s]"});
-    const char* labels[] = {"F1 alone", "F1 + F2", "F1 alone again"};
-    for (std::size_t w = 0; w < 3; ++w) {
-        const WindowAggregate& window = result.windows[w];
-        table.add_row({labels[w], with_ci(window.flows[0].mean_delay_s, 2),
-                       with_ci(window.flows[0].max_delay_s, 2),
-                       window.flows.size() > 1 ? with_ci(window.flows[1].mean_delay_s, 2)
-                                               : std::string("-")});
-    }
-    std::printf("%s", table.to_string().c_str());
-
-    // The transient right after F2 arrives (the paper's delay peak),
-    // measured as its own window (index 3).
-    std::printf("transient after F2 arrival (to %.0f s): F1 max delay %s s\n", transient_to_s,
-                with_ci(result.windows[3].flows[0].max_delay_s, 2).c_str());
-    print_sweep_footer(args, result);
-
-    if (!result.experiments.empty()) {
-        Experiment& first = *result.experiments.front();
-        maybe_dump_series(args,
-                          std::string("fig07_") + (mode == Mode::kEzFlow ? "ezflow" : "80211"),
-                          {{"F1", &first.sink().flow(1).delay_series},
-                           {"F2", &first.sink().flow(2).delay_series}});
-    }
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.3);
-    print_header("fig07_scenario1_delay: end-to-end delay vs time, 2-flow merge",
-                 "Fig. 7 — 802.11 ~4-6 s; EZ-flow ~0.2 s with transient peaks at load changes");
-    const Scenario1Periods periods(args.scale);
-    std::vector<SweepWindow> windows = periods.windows();
-    const double w2 = 0.3 * (periods.p2_end - periods.p2_begin);
-    windows.push_back(SweepWindow{"transient", periods.p2_begin, periods.p2_begin + w2, {1, 2}});
-    const std::vector<Mode> modes = {Mode::kBaseline80211, Mode::kEzFlow};
-    const auto results =
-        sweep_modes(args, ScenarioSpec::scenario1(args.scale), modes, std::move(windows));
-    for (std::size_t m = 0; m < modes.size(); ++m)
-        report(args, results[m], modes[m], periods.p2_begin + w2);
-    std::printf(
-        "\nExpected shape: an order-of-magnitude delay reduction under EZ-flow in\n"
-        "every period; a visible transient peak right after F2 joins, quickly damped\n"
-        "as the contention windows re-converge.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig07", argc, argv);
 }

@@ -1,78 +1,11 @@
-// Figure 8: evolution of the CWmin values EZ-Flow assigns at the nodes of
-// scenario 1. Paper: in the single-flow stable regime the relays sit at
-// the minimum 2^4 while the source rises to 2^7; during the two-flow
-// period the sources climb to ~2^11 (matching the static penalty solution
-// q = 2^4 / 2^11 = 1/128 of [9]). The sweep runs --seeds EZ-Flow
-// simulations in parallel and reports each node's settled log2(cw) as
-// mean +/- 95% CI across seeds; plotted series come from the first seed.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig08".
+// Equivalent to `ezflow run fig08`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cmath>
-
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-int label_to_node(const net::Scenario& scenario, const std::string& label)
-{
-    for (const auto& [id, l] : scenario.labels)
-        if (l == label) return id;
-    return -1;
-}
-
-double log_cw_at(const util::TimeSeries& trace, double t_s, double scale)
-{
-    const double cw = trace.mean_between(util::from_seconds(t_s - 10.0 * scale),
-                                         util::from_seconds(t_s + 40.0 * scale));
-    return cw > 0 ? std::log2(cw) : 0.0;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.3);
-    print_header("fig08_scenario1_cw: EZ-Flow contention-window evolution",
-                 "Fig. 8 — relays at 2^4; F1 source to ~2^7 alone, sources to ~2^11 together");
-    const Scenario1Periods periods(args.scale);
-    // The contention windows live in the per-seed CwTracers, so keep the
-    // experiments alive rather than relying on FlowSummary aggregates.
-    const auto results = sweep_modes(args, ScenarioSpec::scenario1(args.scale), {Mode::kEzFlow},
-                                     periods.windows(), /*keep_experiments=*/true);
-    const SweepResult& result = results.front();
-    const net::Scenario& scenario = result.experiments.front()->scenario();
-
-    // The nodes the paper plots: the two sources (N12, N11), the first
-    // relays of each branch (N10, N9, N8, N7) and a trunk relay (N4).
-    const std::vector<std::string> labels = {"N12", "N11", "N10", "N9", "N8", "N7", "N4"};
-    const double sample_times[] = {periods.p1_end - 50 * args.scale,
-                                   periods.p2_end - 50 * args.scale,
-                                   periods.p3_end - 50 * args.scale};
-    util::Table table({"node", "log2(cw) @F1-alone", "log2(cw) @both", "log2(cw) @end"});
-    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
-    for (const std::string& label : labels) {
-        const int node = label_to_node(scenario, label);
-        if (node < 0) continue;
-        util::RunningStats per_time[3];
-        for (const auto& experiment : result.experiments) {
-            const util::TimeSeries& trace = experiment->cw_tracer().trace(node);
-            for (int t = 0; t < 3; ++t)
-                per_time[t].add(log_cw_at(trace, sample_times[t], args.scale));
-        }
-        table.add_row({label, with_ci(per_time[0], 1), with_ci(per_time[1], 1),
-                       with_ci(per_time[2], 1)});
-        series.emplace_back(label, &result.experiments.front()->cw_tracer().trace(node));
-    }
-    std::printf("%s", table.to_string().c_str());
-    print_sweep_footer(args, result);
-    maybe_dump_series(args, "fig08_cw", series);
-    std::printf(
-        "\nExpected shape: sources carry the largest windows (self-throttling),\n"
-        "relays near the gateway stay at/near the 2^4 minimum, windows rise when\n"
-        "F2 joins and relax back after it leaves — the distribution [9] proved\n"
-        "stable, discovered online.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig08", argc, argv);
 }

@@ -1,58 +1,11 @@
-// Figure 10: end-to-end delay over time for the three flows of scenario 2
-// (crossing flows with hidden sources). Paper: under 802.11, F2 sees ~15 s
-// delays in period 1 and all flows suffer high delay in period 2; EZ-Flow
-// cuts delays by at least an order of magnitude. Swept over --seeds root
-// seeds in parallel; cells are mean +/- 95% CI across seeds.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig10".
+// Equivalent to `ezflow run fig10`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-void report(const BenchArgs& args, const SweepResult& result, Mode mode)
-{
-    std::printf("\nscenario 2, %s:\n", mode_name(mode).c_str());
-    util::Table table({"period", "F1 delay [s]", "F2 delay [s]", "F3 delay [s]"});
-    const char* labels[] = {"F1+F2", "F1+F2+F3", "F1 alone"};
-    for (std::size_t w = 0; w < result.windows.size(); ++w) {
-        const WindowAggregate& window = result.windows[w];
-        std::vector<std::string> row = {labels[w]};
-        for (std::size_t f = 0; f < 3; ++f)
-            row.push_back(f < window.flows.size() ? with_ci(window.flows[f].mean_delay_s, 2)
-                                                  : std::string("-"));
-        table.add_row(row);
-    }
-    std::printf("%s", table.to_string().c_str());
-    print_sweep_footer(args, result);
-
-    if (!result.experiments.empty()) {
-        Experiment& first = *result.experiments.front();
-        maybe_dump_series(args,
-                          std::string("fig10_") + (mode == Mode::kEzFlow ? "ezflow" : "80211"),
-                          {{"F1", &first.sink().flow(1).delay_series},
-                           {"F2", &first.sink().flow(2).delay_series},
-                           {"F3", &first.sink().flow(3).delay_series}});
-    }
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
-    print_header("fig10_scenario2_delay: end-to-end delay vs time, 3 crossing flows",
-                 "Fig. 10 — 802.11: seconds-to-tens-of-seconds delays; EZ-flow: >=10x lower");
-    const Scenario2Periods periods(args.scale);
-    const std::vector<Mode> modes = {Mode::kBaseline80211, Mode::kEzFlow};
-    const auto results =
-        sweep_modes(args, ScenarioSpec::scenario2(args.scale), modes, periods.windows());
-    for (std::size_t m = 0; m < modes.size(); ++m) report(args, results[m], modes[m]);
-    std::printf(
-        "\nExpected shape: EZ-flow reduces every flow's delay by an order of\n"
-        "magnitude in every period, and the final F1-alone period returns to the\n"
-        "single-flow regime of scenario 1.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig10", argc, argv);
 }

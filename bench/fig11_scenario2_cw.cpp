@@ -1,71 +1,11 @@
-// Figure 11: EZ-Flow's CWmin evolution at the two first nodes of each flow
-// in scenario 2. Paper: cw10 (F2's source) climbs to 2^10 in period 1;
-// in period 2 the sources sit at cw10 = cw19 = 2^9 and cw0 = 2^7, the
-// competition-aware distribution that un-starves the crossing flows.
-// The sweep runs --seeds EZ-Flow simulations in parallel; each node's
-// settled log2(cw) is reported as mean +/- 95% CI across seeds.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig11".
+// Equivalent to `ezflow run fig11`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cmath>
-
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-int label_to_node(const net::Scenario& scenario, const std::string& label)
-{
-    for (const auto& [id, l] : scenario.labels)
-        if (l == label) return id;
-    return -1;
-}
-
-double log_cw_at(const util::TimeSeries& trace, double t_s, double scale)
-{
-    const double cw =
-        trace.mean_between(util::from_seconds(t_s - 60.0 * scale), util::from_seconds(t_s));
-    return cw > 0 ? std::log2(cw) : 0.0;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
-    print_header("fig11_scenario2_cw: contention windows at the flows' first nodes",
-                 "Fig. 11 — sources self-throttle (2^7..2^10); first relays stay aggressive");
-    const Scenario2Periods periods(args.scale);
-    const auto results = sweep_modes(args, ScenarioSpec::scenario2(args.scale), {Mode::kEzFlow},
-                                     periods.windows(), /*keep_experiments=*/true);
-    const SweepResult& result = results.front();
-    const net::Scenario& scenario = result.experiments.front()->scenario();
-
-    // The paper plots cw0, cw1 (F1), cw10, cw11 (F2), cw19, cw20 (F3).
-    const std::vector<std::string> labels = {"N0", "N1", "N10", "N11", "N19", "N20"};
-    const double sample_times[] = {periods.p1_end, periods.p2_end, periods.p3_end};
-    util::Table table({"node", "log2(cw) @P1", "log2(cw) @P2", "log2(cw) @P3"});
-    std::vector<std::pair<std::string, const util::TimeSeries*>> series;
-    for (const std::string& label : labels) {
-        const int node = label_to_node(scenario, label);
-        if (node < 0) continue;
-        util::RunningStats per_time[3];
-        for (const auto& experiment : result.experiments) {
-            const util::TimeSeries& trace = experiment->cw_tracer().trace(node);
-            for (int t = 0; t < 3; ++t)
-                per_time[t].add(log_cw_at(trace, sample_times[t], args.scale));
-        }
-        table.add_row({label, with_ci(per_time[0], 1), with_ci(per_time[1], 1),
-                       with_ci(per_time[2], 1)});
-        series.emplace_back(label, &result.experiments.front()->cw_tracer().trace(node));
-    }
-    std::printf("%s", table.to_string().c_str());
-    print_sweep_footer(args, result);
-    maybe_dump_series(args, "fig11_cw", series);
-    std::printf(
-        "\nExpected shape: each flow's source carries a much larger window than its\n"
-        "first relay; windows grow when a new flow joins (period 2) and relax when\n"
-        "traffic leaves (period 3) — EZ-flow tracking the traffic matrix.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig11", argc, argv);
 }

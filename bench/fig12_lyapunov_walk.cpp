@@ -1,87 +1,11 @@
-// Figure 12 / Theorem 1: the 4-hop random walk on Z^3. Two experiments:
-//  (i) trajectories of the total backlog h(b) with fixed equal windows
-//      (divergent) vs EZ-Flow dynamics (bounded) — the instability of [9]
-//      and the stabilization of Theorem 1, empirically;
-//  (ii) the Foster-Lyapunov drift E[h(b(n+k)) - h(b(n))] per region with
-//      the paper's look-ahead horizons k(region), which must be negative
-//      outside the finite set S.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "fig12".
+// Equivalent to `ezflow run fig12`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "model/lyapunov.h"
-#include "model/region.h"
-#include "model/walk.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-
-void trajectories(const BenchArgs& args)
-{
-    const std::uint64_t slots = static_cast<std::uint64_t>(300000 * std::max(args.scale, 0.05));
-    std::printf("\n(i) total backlog h(b) along the walk (%llu slots):\n",
-                static_cast<unsigned long long>(slots));
-    util::Table table({"dynamics", "h @25%", "h @50%", "h @75%", "h @end", "delivered"});
-    for (const bool ezflow : {false, true}) {
-        model::RandomWalkModel::Config config;
-        config.hops = 4;
-        config.ezflow_enabled = ezflow;
-        if (!ezflow) config.initial_cw = {32, 32, 32, 32};
-        model::RandomWalkModel walk(config, util::Rng(args.seed));
-        std::vector<long long> checkpoints;
-        for (int quarter = 1; quarter <= 4; ++quarter) {
-            walk.run(slots / 4);
-            checkpoints.push_back(walk.total_backlog());
-        }
-        table.add_row({ezflow ? "EZ-flow (Eq. 2)" : "fixed cw = 32",
-                       std::to_string(checkpoints[0]), std::to_string(checkpoints[1]),
-                       std::to_string(checkpoints[2]), std::to_string(checkpoints[3]),
-                       std::to_string(walk.delivered())});
-    }
-    std::printf("%s", table.to_string().c_str());
-}
-
-void drifts(const BenchArgs& args)
-{
-    std::printf("\n(ii) Foster-Lyapunov drift per region (EZ-flow stable windows):\n");
-    model::RandomWalkModel::Config config;
-    config.hops = 4;
-    config.ezflow_enabled = true;
-    model::LyapunovEstimator estimator(config, {1 << 9, 1 << 4, 1 << 4, 1 << 4},
-                                       util::Rng(args.seed));
-    const long long big = 60;
-    const std::vector<std::pair<int, model::BufferVector>> states = {
-        {model::kRegionB, {big, 0, 0}},   {model::kRegionC, {0, big, 0}},
-        {model::kRegionD, {0, 0, big}},   {model::kRegionE, {big, big, 0}},
-        {model::kRegionF, {big, 0, big}}, {model::kRegionG, {0, big, big}},
-        {model::kRegionH, {big, big, big}},
-    };
-    const int samples = static_cast<int>(8000 * std::max(args.scale, 0.05));
-    util::Table table({"region", "horizon k", "mean drift", "std err", "verdict"});
-    for (const auto& [region, relays] : states) {
-        const int k = model::LyapunovEstimator::paper_horizon(region);
-        const auto d = estimator.estimate(relays, k, samples);
-        table.add_row({model::region_name(region, 3), std::to_string(k),
-                       util::Table::num(d.mean_drift, 3), util::Table::num(d.stderr_drift, 3),
-                       d.mean_drift + 2 * d.stderr_drift < 0.05 ? "negative (stable)"
-                                                                : "NOT negative"});
-    }
-    std::printf("%s", table.to_string().c_str());
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 1.0);
-    print_header("fig12_lyapunov_walk: random-walk stability of the 4-hop model",
-                 "Fig. 12 / Theorem 1 — EZ-flow keeps the walk near the origin");
-    trajectories(args);
-    drifts(args);
-    std::printf(
-        "\nExpected shape: the fixed-window walk's backlog grows roughly linearly in\n"
-        "time (instability of [9]); the EZ-flow walk stays within tens of packets,\n"
-        "and the per-region drifts of h are negative — Foster's criterion, i.e.\n"
-        "Theorem 1.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("fig12", argc, argv);
 }

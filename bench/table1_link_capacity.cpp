@@ -1,55 +1,11 @@
-// Table 1: capacity of each link l0..l6 of flow F1 on the testbed.
-// Each link is measured in isolation with a saturating CBR source, the
-// same way the authors measured their radios; the per-link loss rates of
-// net::testbed_link_loss() are the calibration knob.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "table1".
+// Equivalent to `ezflow run table1`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "traffic/source.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-
-// Paper values, kb/s (means over 1200 s).
-constexpr double kPaperCapacity[7] = {845, 672, 408, 748, 746, 805, 648};
-
-double measure_link(const BenchArgs& args, int link, double duration_s)
-{
-    // A 1-hop network with the link's loss rate applied.
-    net::Network net(net::testbed_config(args.seed + static_cast<std::uint64_t>(link)));
-    const auto tx = net.add_node({0, 0});
-    const auto rx = net.add_node({200, 0});
-    net.add_flow(0, {tx, rx});
-    net.channel().set_link_loss(tx, rx, net::testbed_link_loss()[static_cast<std::size_t>(link)]);
-    traffic::Sink sink(net);
-    sink.attach_flow(0);
-    traffic::CbrSource source(net, 0, 1000, 2e6);
-    source.activate(0, util::from_seconds(duration_s));
-    net.run_until(util::from_seconds(duration_s));
-    return sink.goodput_kbps(0, util::from_seconds(duration_s * 0.05),
-                             util::from_seconds(duration_s));
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.1);
-    const double duration_s = 1200.0 * args.scale;
-    print_header("table1_link_capacity: per-link capacity of flow F1's links",
-                 "Table 1 — l2 is the bottleneck at ~408 kb/s");
-
-    util::Table table({"link", "measured [kb/s]", "paper [kb/s]", "loss calib."});
-    for (int l = 0; l < 7; ++l) {
-        const double measured = measure_link(args, l, duration_s);
-        table.add_row({"l" + std::to_string(l), util::Table::num(measured, 0),
-                       util::Table::num(kPaperCapacity[l], 0),
-                       util::Table::num(net::testbed_link_loss()[static_cast<std::size_t>(l)], 2)});
-    }
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: l0 fastest (~845 kb/s at 1 Mb/s PHY), l2 the bottleneck\n"
-        "around half of that, the remaining links in between.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("table1", argc, argv);
 }

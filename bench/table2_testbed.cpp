@@ -1,81 +1,11 @@
-// Table 2: mean throughput, standard deviation and Jain's fairness index
-// on the testbed, with and without EZ-Flow, for (i) each flow alone and
-// (ii) the two flows together (the parking-lot scenario where 802.11
-// starves the 7-hop flow F1).
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "table2".
+// Equivalent to `ezflow run table2`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-struct Row {
-    std::string label;
-    double mean_kbps;
-    double stddev_kbps;
-    double fairness;  ///< < 0 when not applicable
-};
-
-std::vector<Row> run_config(const BenchArgs& args, bool f1_active, bool f2_active, Mode mode,
-                            double duration_s)
-{
-    // Disabled flows get a zero-length window after the measured horizon.
-    const double off = duration_s + 1.0;
-    net::Scenario scenario = net::make_testbed(
-        f1_active ? 5.0 : off, f1_active ? duration_s : off + 0.001, f2_active ? 5.0 : off,
-        f2_active ? duration_s : off + 0.001, args.seed);
-    ExperimentOptions options;
-    options.mode = mode;
-    options.caa.max_cw = 1 << 10;  // testbed hardware cap
-    Experiment exp(std::move(scenario), options);
-    exp.run_until_s(duration_s);
-
-    const double warmup = 0.2 * duration_s;
-    const std::string suffix = mode == Mode::kEzFlow ? " (EZ)" : "";
-    std::vector<Row> rows;
-    if (f1_active) {
-        const auto s = exp.summarize(1, warmup, duration_s);
-        rows.push_back({"F1" + suffix + (f2_active ? " [both]" : " [alone]"), s.mean_kbps,
-                        s.stddev_kbps, -1.0});
-    }
-    if (f2_active) {
-        const auto s = exp.summarize(2, warmup, duration_s);
-        rows.push_back({"F2" + suffix + (f1_active ? " [both]" : " [alone]"), s.mean_kbps,
-                        s.stddev_kbps, -1.0});
-    }
-    if (f1_active && f2_active) rows.back().fairness = exp.fairness({1, 2}, warmup, duration_s);
-    return rows;
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
-    const double duration_s = 1800.0 * args.scale;
-    print_header("table2_testbed: testbed throughput / stddev / fairness",
-                 "Table 2 — 802.11: F1 119, F2 157 alone; (7, 143) FI 0.55 together; "
-                 "EZ-flow: 148, 185 alone; (71, 110) FI 0.96 together");
-
-    util::Table table({"flow", "mean [kb/s]", "stddev [kb/s]", "Jain FI"});
-    auto emit = [&](const std::vector<Row>& rows) {
-        for (const Row& r : rows)
-            table.add_row({r.label, util::Table::num(r.mean_kbps, 0),
-                           util::Table::num(r.stddev_kbps, 0),
-                           r.fairness < 0 ? "-" : util::Table::num(r.fairness, 2)});
-    };
-    emit(run_config(args, true, false, Mode::kBaseline80211, duration_s));
-    emit(run_config(args, false, true, Mode::kBaseline80211, duration_s));
-    emit(run_config(args, true, true, Mode::kBaseline80211, duration_s));
-    emit(run_config(args, true, false, Mode::kEzFlow, duration_s));
-    emit(run_config(args, false, true, Mode::kEzFlow, duration_s));
-    emit(run_config(args, true, true, Mode::kEzFlow, duration_s));
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: alone, each flow gains ~20%% with EZ-flow. Together,\n"
-        "802.11 starves the long flow F1 (low FI); EZ-flow restores both flows to\n"
-        "comparable rates and pushes the fairness index toward 1.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("table2", argc, argv);
 }

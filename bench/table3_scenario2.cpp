@@ -1,55 +1,11 @@
-// Table 3: mean throughput, standard deviation and Jain's fairness index
-// for the three periods of scenario 2, with and without EZ-Flow.
-// Paper headline: period 2 cumulative throughput 188.2 -> 304.6 kb/s
-// (+62%) and FI 0.64 -> 0.80. Swept over --seeds root seeds in parallel;
-// cells are mean +/- 95% CI across seeds.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "table3".
+// Equivalent to `ezflow run table3`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-using namespace ezflow::analysis;
-
-void report(const BenchArgs& args, const SweepResult& result, Mode mode, util::Table& table)
-{
-    const std::string suffix = mode == Mode::kEzFlow ? " (EZ)" : "";
-    const char* period_names[] = {"P1", "P2", "P3"};
-    for (std::size_t w = 0; w < result.windows.size(); ++w) {
-        const WindowAggregate& window = result.windows[w];
-        for (std::size_t f = 0; f < window.flows.size(); ++f) {
-            const bool last_flow = f + 1 == window.flows.size();
-            table.add_row({std::string(period_names[w]) + " F" + std::to_string(f + 1) + suffix,
-                           with_ci(window.flows[f].mean_kbps, 1),
-                           with_ci(window.flows[f].stddev_kbps, 1),
-                           last_flow && window.flows.size() > 1 ? with_ci(window.fairness, 2)
-                                                                : std::string("-")});
-        }
-    }
-    std::printf("period-2 cumulative throughput, %s: %s kb/s\n", mode_name(mode).c_str(),
-                with_ci(result.windows[1].aggregate_kbps, 1).c_str());
-    print_sweep_footer(args, result);
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 0.15);
-    print_header("table3_scenario2: per-period throughput / stddev / fairness",
-                 "Table 3 — EZ-flow: +62% cumulative throughput and FI 0.64 -> 0.80 in period 2");
-    const Scenario2Periods periods(args.scale);
-    const std::vector<Mode> modes = {Mode::kBaseline80211, Mode::kEzFlow};
-    const auto results =
-        sweep_modes(args, ScenarioSpec::scenario2(args.scale), modes, periods.windows());
-    util::Table table({"period/flow", "mean [kb/s]", "stddev [kb/s]", "Jain FI"});
-    for (std::size_t m = 0; m < modes.size(); ++m) report(args, results[m], modes[m], table);
-    std::printf("%s", table.to_string().c_str());
-    std::printf(
-        "\nExpected shape: under 802.11 the crossing flows starve each other\n"
-        "(low FI); EZ-flow lifts the starved flows, raises the cumulative\n"
-        "throughput and the fairness index, and period 3 matches scenario 1's\n"
-        "single-flow regime.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("table3", argc, argv);
 }

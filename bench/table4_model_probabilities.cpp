@@ -1,68 +1,11 @@
-// Table 4: probability of each transmission pattern in every region A..H
-// of the 4-hop slotted model. Prints the closed-form values next to
-// Monte-Carlo estimates from the generative sampler, for both equal and
-// EZ-Flow-like (source-throttled) window vectors.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "table4".
+// Equivalent to `ezflow run table4`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include "bench_common.h"
-#include "model/region.h"
-#include "model/table4.h"
-#include "model/walk.h"
-
-namespace {
-
-using namespace ezflow;
-using namespace ezflow::bench;
-
-std::string pattern_key(const std::vector<int>& z)
-{
-    std::string key = "[";
-    for (std::size_t i = 0; i < z.size(); ++i) {
-        key += static_cast<char>('0' + z[i]);
-        if (i + 1 < z.size()) key += ',';
-    }
-    return key + "]";
-}
-
-void report(const BenchArgs& args, const std::vector<double>& cw, const char* cw_label)
-{
-    std::printf("\ncontention windows %s:\n", cw_label);
-    util::Table table({"region", "pattern z", "closed form", "Monte-Carlo"});
-
-    model::RandomWalkModel::Config config;
-    config.hops = 4;
-    model::RandomWalkModel sampler(config, util::Rng(args.seed));
-
-    const int n = static_cast<int>(50000 * std::max(args.scale, 0.02));
-    for (int region = 0; region < 8; ++region) {
-        model::BufferVector relays = {0, 0, 0};
-        for (int i = 0; i < 3; ++i)
-            if (region & (1 << i)) relays[static_cast<std::size_t>(i)] = 5;
-
-        std::map<std::string, int> counts;
-        for (int i = 0; i < n; ++i) ++counts[pattern_key(sampler.sample_pattern(relays, cw))];
-
-        for (const model::Pattern& p : model::table4_distribution(region, cw)) {
-            const std::string key = pattern_key(p.z);
-            const double observed = counts.count(key) ? counts[key] / double(n) : 0.0;
-            table.add_row({model::region_name(region, 3), key, util::Table::num(p.probability, 4),
-                           util::Table::num(observed, 4)});
-        }
-    }
-    std::printf("%s", table.to_string().c_str());
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const BenchArgs args = BenchArgs::parse(argc, argv, 1.0);
-    print_header("table4_model_probabilities: pattern distribution per region",
-                 "Table 4 — closed forms vs the generative race/interference process");
-    report(args, {32, 32, 32, 32}, "cw = (32, 32, 32, 32) [plain 802.11]");
-    report(args, {512, 16, 16, 16}, "cw = (512, 16, 16, 16) [EZ-flow stable pattern]");
-    std::printf(
-        "\nExpected shape: Monte-Carlo matches the closed forms in every region;\n"
-        "with the EZ-flow window vector the source-favouring patterns lose most of\n"
-        "their probability mass (e.g. region B's [1,0,0,0]).\n");
-    return 0;
+    return ezflow::cli::run_figure_main("table4", argc, argv);
 }

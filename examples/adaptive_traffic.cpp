@@ -1,56 +1,11 @@
-// Traffic-matrix adaptivity: the property Section 2.2 demands ("as the
-// environment changes in real networks, we require EZ-flow to
-// automatically adapt"). A bursty on-off flow joins a steady flow on the
-// testbed; EZ-Flow's windows follow the load up and down without any
-// signalling.
-//
-//   ./example_adaptive_traffic [--duration=600] [--seed=7]
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "adaptive_traffic".
+// Equivalent to `ezflow run adaptive_traffic`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-
-#include "core/agent.h"
-#include "net/topologies.h"
-#include "traffic/sink.h"
-#include "traffic/source.h"
-#include "util/cli.h"
-
-using namespace ezflow;
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const double duration_s = cli.get_double("duration", 600.0);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-
-    net::Scenario scenario = net::make_testbed(5, duration_s, 5, duration_s, seed);
-    net::Network& network = *scenario.network;
-
-    auto agents = core::install_ezflow(network, core::CaaConfig{});
-    traffic::Sink sink(network);
-    sink.attach_flow(1);
-    sink.attach_flow(2);
-
-    // F1 carries steady CBR; F2 is bursty on-off traffic at the junction.
-    traffic::CbrSource steady(network, 1, 1000, 2e6);
-    steady.activate(util::from_seconds(5), util::from_seconds(duration_s));
-    traffic::OnOffSource bursty(network, 2, 1000, 2e6, /*mean_on_s=*/30.0, /*mean_off_s=*/30.0);
-    bursty.activate(util::from_seconds(5), util::from_seconds(duration_s));
-
-    // Sample the two sources' windows once a minute of simulated time.
-    const net::NodeId f1_src = scenario.flows[0].path[0];
-    const net::NodeId f2_src = scenario.flows[1].path[0];
-    std::printf("time[s]  cw(N0)  cw(N0')  delivered F1/F2 [pkts]\n");
-    for (double t = 60.0; t <= duration_s; t += 60.0) {
-        network.run_until(util::from_seconds(t));
-        std::printf("%6.0f  %6d  %7d  %llu / %llu\n", t,
-                    agents.at(f1_src)->cw_toward(scenario.flows[0].path[1]),
-                    agents.at(f2_src)->cw_toward(scenario.flows[1].path[1]),
-                    static_cast<unsigned long long>(sink.flow(1).packets),
-                    static_cast<unsigned long long>(sink.flow(2).packets));
-    }
-    std::printf(
-        "\nBoth windows breathe with the offered load: they climb while the burst\n"
-        "is on (successor buffers fill) and decay during silences. No packet\n"
-        "formats were changed and no control messages were sent.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("adaptive_traffic", argc, argv);
 }

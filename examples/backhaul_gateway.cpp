@@ -1,52 +1,11 @@
-// Backhaul-gateway scenario: the workload the paper's introduction
-// motivates — several access points funnel user traffic over a multi-hop
-// 802.11 backhaul toward the wired gateway (Fig. 2 / Fig. 5). Two 8-hop
-// flows merge at a junction; EZ-Flow keeps the merge smooth while plain
-// 802.11 congests. Both policies are swept over several seeds in
-// parallel through analysis::SweepRunner.
-//
-//   ./backhaul_gateway [--scale=0.2] [--seed=7] [--seeds=4] [--threads=0]
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "backhaul_gateway".
+// Equivalent to `ezflow run backhaul_gateway`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-
-#include "analysis/experiment_factory.h"
-#include "analysis/sweep.h"
-#include "util/cli.h"
-
-using namespace ezflow;
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const double scale = cli.get_double("scale", 0.2);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-    const int seeds = cli.get_int("seeds", 4);
-    const int threads = cli.get_int("threads", 0);
-
-    std::printf("Two 8-hop access flows merging toward the gateway (scenario 1, x%.2f time):\n\n",
-                scale);
-
-    // Measure the settled two-flow regime of the paper's timeline.
-    const double both_begin = (605.0 + 360.0) * scale;
-    const double both_end = 1804.0 * scale;
-    analysis::SweepConfig config;
-    config.windows.push_back(analysis::SweepWindow{"both flows", both_begin, both_end, {1, 2}});
-    for (int i = 0; i < seeds; ++i) config.seeds.push_back(seed + static_cast<std::uint64_t>(i));
-
-    const analysis::ExperimentFactory baseline(analysis::ScenarioSpec::scenario1(scale), {});
-    const auto results = analysis::SweepRunner(threads).run_grid(
-        {baseline, baseline.with_mode(analysis::Mode::kEzFlow)}, config);
-
-    for (const analysis::SweepResult& result : results) {
-        const analysis::WindowAggregate& window = result.windows.front();
-        std::printf("%-22s  F1 %6.1f kb/s (delay %5.2f s)   F2 %6.1f kb/s (delay %5.2f s)   FI %.2f\n",
-                    result.label.c_str(), window.flows[0].mean_kbps.mean(),
-                    window.flows[0].mean_delay_s.mean(), window.flows[1].mean_kbps.mean(),
-                    window.flows[1].mean_delay_s.mean(), window.fairness.mean());
-    }
-    std::printf("\n(%d seeds per policy, %.2f s wall)\n", seeds, results.front().wall_seconds);
-    std::printf(
-        "\nEZ-flow needs no message passing: each node sniffs its successor's\n"
-        "forwards, infers the queue, and steers only its own CWmin.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("backhaul_gateway", argc, argv);
 }

@@ -1,61 +1,11 @@
-// Model explorer: drive the Section 6 slotted random-walk model directly.
-// Useful to study the stability boundary without packet-level simulation:
-// choose the chain length, toggle EZ-Flow's Eq. (2) dynamics, and print
-// the backlog trajectory plus the per-region empirical drift of the
-// Lyapunov function h(b) = sum b_i.
-//
-//   ./example_model_explorer [--hops=4] [--slots=200000] [--ezflow=true]
-//                            [--cw=32] [--seed=7]
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "model_explorer".
+// Equivalent to `ezflow run model_explorer`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-#include <map>
-
-#include "model/lyapunov.h"
-#include "model/region.h"
-#include "model/walk.h"
-#include "util/cli.h"
-
-using namespace ezflow;
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const int hops = cli.get_int("hops", 4);
-    const auto slots = static_cast<std::uint64_t>(cli.get_int("slots", 200000));
-    const bool ezflow = cli.get_bool("ezflow", true);
-    const long long fixed_cw = cli.get_int("cw", 32);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-
-    model::RandomWalkModel::Config config;
-    config.hops = hops;
-    config.ezflow_enabled = ezflow;
-    if (!ezflow)
-        config.initial_cw.assign(static_cast<std::size_t>(hops), fixed_cw);
-
-    model::RandomWalkModel walk(config, util::Rng(seed));
-    std::map<int, std::uint64_t> region_time;
-
-    std::printf("%d-hop slotted model, %s:\n", hops,
-                ezflow ? "EZ-flow dynamics (Eq. 2)" : "fixed windows");
-    std::printf("%10s  %10s  %10s\n", "slot", "h(b)", "delivered");
-    for (int decile = 1; decile <= 10; ++decile) {
-        for (std::uint64_t i = 0; i < slots / 10; ++i) {
-            walk.step();
-            ++region_time[walk.region()];
-        }
-        std::printf("%10llu  %10lld  %10llu\n",
-                    static_cast<unsigned long long>(walk.slots()), walk.total_backlog(),
-                    static_cast<unsigned long long>(walk.delivered()));
-    }
-
-    std::printf("\ntime share per region (non-empty relay bitmask):\n");
-    for (const auto& [region, count] : region_time) {
-        std::printf("  %-6s %5.1f%%\n", model::region_name(region, hops - 1).c_str(),
-                    100.0 * static_cast<double>(count) / static_cast<double>(walk.slots()));
-    }
-    std::printf(
-        "\nWith --ezflow=false the backlog h(b) grows roughly linearly for hops >= 4\n"
-        "(the instability of [9]); with EZ-flow it stays within tens of packets\n"
-        "(Theorem 1).\n");
-    return 0;
+    return ezflow::cli::run_figure_main("model_explorer", argc, argv);
 }

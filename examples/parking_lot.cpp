@@ -1,60 +1,11 @@
-// Parking-lot scenario on the Fig. 3 testbed: a long 7-hop flow F1 shares
-// its tail with a short 4-hop flow F2 entering at the junction. Under
-// plain 802.11 the short flow's greedy source starves the long flow
-// (Table 2: 7 vs 143 kb/s); EZ-Flow makes both sources self-throttle and
-// restores the long flow. Each policy is swept over several seeds in
-// parallel through analysis::SweepRunner.
-//
-//   ./parking_lot [--duration=400] [--seed=7] [--seeds=4] [--cap=1024]
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "parking_lot".
+// Equivalent to `ezflow run parking_lot`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-
-#include "analysis/experiment_factory.h"
-#include "analysis/sweep.h"
-#include "util/cli.h"
-
-using namespace ezflow;
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const double duration_s = cli.get_double("duration", 400.0);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-    const int seeds = cli.get_int("seeds", 4);
-    const int cap = cli.get_int("cap", 1 << 10);
-
-    std::printf("Parking lot on the 9-router testbed (F1: 7 hops, F2: 4 hops, shared tail):\n\n");
-
-    analysis::ExperimentOptions options;
-    options.caa.max_cw = cap;  // the testbed's MadWifi driver capped at 2^10
-    const analysis::ExperimentFactory baseline(
-        analysis::ScenarioSpec::testbed(5, duration_s, 5, duration_s), options);
-
-    analysis::SweepConfig config;
-    config.windows.push_back(
-        analysis::SweepWindow{"settled", 0.3 * duration_s, duration_s, {1, 2}});
-    for (int i = 0; i < seeds; ++i) config.seeds.push_back(seed + static_cast<std::uint64_t>(i));
-    config.keep_experiments = true;  // to read the EZ agents' final windows
-
-    const auto results = analysis::SweepRunner(0).run_grid(
-        {baseline, baseline.with_mode(analysis::Mode::kEzFlow)}, config);
-
-    for (const analysis::SweepResult& result : results) {
-        const analysis::WindowAggregate& window = result.windows.front();
-        std::printf("%-18s  F1 %6.1f kb/s   F2 %6.1f kb/s   FI %.2f\n", result.label.c_str(),
-                    window.flows[0].mean_kbps.mean(), window.flows[1].mean_kbps.mean(),
-                    window.fairness.mean());
-    }
-
-    // The self-throttled source windows of the first EZ-Flow run.
-    const analysis::Experiment& ez = *results[1].experiments.front();
-    const net::Scenario& s = ez.scenario();
-    std::printf("source windows (seed %llu): cw(N0)=%d, cw(N0')=%d\n",
-                static_cast<unsigned long long>(seed),
-                ez.agent(s.flows[0].path[0])->cw_toward(s.flows[0].path[1]),
-                ez.agent(s.flows[1].path[0])->cw_toward(s.flows[1].path[1]));
-    std::printf(
-        "\nThe short flow's source throttles itself once its first relay's buffer\n"
-        "builds up — an implicit congestion signal derived purely by sniffing.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("parking_lot", argc, argv);
 }

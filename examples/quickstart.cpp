@@ -1,56 +1,11 @@
-// Quickstart: build a 4-hop 802.11 mesh backhaul, saturate it, and watch
-// EZ-Flow stabilize what plain 802.11 cannot.
-//
-//   ./example_quickstart [--hops=4] [--duration=300] [--seed=7] [--ezflow=true]
-//
-// This is the smallest end-to-end use of the library's public API:
-// a canned topology, an Experiment (traffic + instrumentation), and the
-// summary accessors.
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "quickstart".
+// Equivalent to `ezflow run quickstart`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-
-#include "analysis/experiment.h"
-#include "net/topologies.h"
-#include "util/cli.h"
-
-using namespace ezflow;
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const int hops = cli.get_int("hops", 4);
-    const double duration_s = cli.get_double("duration", 300.0);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-    const bool ezflow = cli.get_bool("ezflow", true);
-
-    analysis::ExperimentOptions options;
-    options.mode = ezflow ? analysis::Mode::kEzFlow : analysis::Mode::kBaseline80211;
-
-    analysis::Experiment experiment(net::make_line(hops, duration_s, seed), options);
-    experiment.run();
-
-    const double warmup_s = 0.3 * duration_s;
-    const auto summary = experiment.summarize(0, warmup_s, duration_s);
-    std::printf("%d-hop chain under %s for %.0f s:\n", hops,
-                analysis::mode_name(options.mode).c_str(), duration_s);
-    std::printf("  goodput        : %.1f kb/s\n", summary.mean_kbps);
-    std::printf("  network delay  : %.3f s (max %.3f s)\n", summary.mean_delay_s,
-                summary.max_delay_s);
-    for (int n = 1; n < hops; ++n) {
-        std::printf("  relay N%d queue : mean %.1f pkts, max %.0f pkts, drops %llu\n", n,
-                    experiment.buffers().mean_occupancy(n, util::from_seconds(warmup_s),
-                                                        util::from_seconds(duration_s)),
-                    experiment.buffers().max_occupancy(n),
-                    static_cast<unsigned long long>(
-                        experiment.network().node(n).forward_queue_drops()));
-    }
-    if (ezflow) {
-        std::printf("  contention windows discovered by EZ-flow:\n");
-        for (int n = 0; n < hops; ++n) {
-            if (const core::EzFlowAgent* agent = experiment.agent(n))
-                std::printf("    cw%d -> %d\n", n, agent->cw_toward(n + 1));
-        }
-        std::printf("\nRe-run with --ezflow=false to see the relay buffers saturate.\n");
-    }
-    return 0;
+    return ezflow::cli::run_figure_main("quickstart", argc, argv);
 }

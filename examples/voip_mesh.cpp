@@ -1,77 +1,11 @@
-// VoIP over the mesh backhaul: the delay-sensitive workload the paper's
-// introduction motivates ("low delays is of utmost importance in cases
-// where a mesh network supports real-time, multimedia services such as
-// VoIP"). A 64 kb/s voice-like flow (200-byte packets) crosses the 4-hop
-// backhaul while a greedy bulk flow saturates it; with plain 802.11 the
-// relay buffers the bulk flow fills add seconds of queueing in front of
-// every voice packet, with EZ-Flow the voice delay distribution collapses.
-//
-//   ./example_voip_mesh [--duration=400] [--seed=7]
+// Thin launcher kept for muscle memory: the implementation now lives in
+// the figure registry (src/cli/figures/) under the name "voip_mesh".
+// Equivalent to `ezflow run voip_mesh`; flags --scale/--seed/--seeds/
+// --threads/--csv/--out/--smoke pass through.
 
-#include <cstdio>
-#include <vector>
-
-#include "core/agent.h"
-#include "net/topologies.h"
-#include "traffic/sink.h"
-#include "traffic/source.h"
-#include "util/cli.h"
-#include "util/stats.h"
-
-using namespace ezflow;
-
-namespace {
-
-void run(bool ezflow, double duration_s, std::uint64_t seed)
-{
-    net::Scenario scenario = net::make_line(4, duration_s, seed);
-    net::Network& network = *scenario.network;
-    // Voice flow shares the same path (flow id 1).
-    network.add_flow(1, scenario.flows[0].path);
-
-    std::map<net::NodeId, std::unique_ptr<core::EzFlowAgent>> agents;
-    if (ezflow) agents = core::install_ezflow(network, core::CaaConfig{});
-
-    traffic::Sink sink(network);
-    sink.attach_flow(0);
-    sink.attach_flow(1);
-    traffic::CbrSource bulk(network, 0, 1000, 2e6);  // greedy background
-    bulk.activate(util::from_seconds(5), util::from_seconds(duration_s));
-    traffic::CbrSource voice(network, 1, 200, 64'000.0);  // 40 pkt/s voice
-    voice.activate(util::from_seconds(5), util::from_seconds(duration_s));
-
-    network.run_until(util::from_seconds(duration_s));
-
-    const auto& record = sink.flow(1);
-    std::vector<double> delays_ms;
-    const double from = 0.3 * duration_s;
-    const auto& times = record.delay_series.times();
-    const auto& values = record.delay_series.values();
-    for (std::size_t i = 0; i < times.size(); ++i)
-        if (util::to_seconds(times[i]) >= from) delays_ms.push_back(values[i] / 1000.0);
-
-    std::printf("%-8s voice delivered %5llu pkts | delay p50 %7.1f ms  p95 %7.1f ms  p99 %7.1f ms\n",
-                ezflow ? "EZ-flow" : "802.11",
-                static_cast<unsigned long long>(record.packets),
-                delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 50),
-                delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 95),
-                delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 99));
-}
-
-}  // namespace
+#include "cli/app.h"
 
 int main(int argc, char** argv)
 {
-    const util::Cli cli(argc, argv);
-    const double duration_s = cli.get_double("duration", 400.0);
-    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-
-    std::printf("64 kb/s voice flow sharing a 4-hop backhaul with a greedy bulk flow:\n\n");
-    run(false, duration_s, seed);
-    run(true, duration_s, seed);
-    std::printf(
-        "\nThe voice packets queue behind the bulk flow's backlog at every relay;\n"
-        "EZ-flow keeps those buffers drained, so tail latency drops by an order\n"
-        "of magnitude — without any priority mechanism or signalling.\n");
-    return 0;
+    return ezflow::cli::run_figure_main("voip_mesh", argc, argv);
 }

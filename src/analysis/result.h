@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace ezflow::analysis {
+
+/// One reported metric of a figure: the across-seed mean, the 95%
+/// confidence half-width, and the number of seeds behind it (n = 1 for
+/// point measurements from a single run).
+struct MetricStat {
+    double mean = 0.0;
+    double ci95 = 0.0;
+    int n = 1;
+};
+
+/// A single-run value (no confidence interval).
+inline MetricStat metric_point(double value)
+{
+    return MetricStat{value, 0.0, 1};
+}
+
+/// Across-seed aggregate of a RunningStats accumulator.
+MetricStat metric_from_stats(const util::RunningStats& stats);
+
+/// One measurement window of one grid cell: a label ("F1 alone", "P2",
+/// "settled") plus an insertion-ordered metric map. Metric names are
+/// stable identifiers ("F1.kbps", "fairness", "N1.buf_mean") — the diff
+/// harness matches goldens by them.
+struct WindowResult {
+    std::string label;
+    std::vector<std::pair<std::string, MetricStat>> metrics;
+
+    void set(const std::string& name, MetricStat value);
+    const MetricStat* find(const std::string& name) const;
+};
+
+/// Everything one grid cell (scenario x policy/variant) of a figure
+/// produced: the cell label and its measurement windows in order.
+struct RunResult {
+    std::string label;
+    std::vector<WindowResult> windows;
+
+    WindowResult& add_window(const std::string& label);
+    const WindowResult* find_window(const std::string& label) const;
+};
+
+/// The machine-readable product of one figure run: what `ezflow run`
+/// serializes to <out>/<figure>.json and `ezflow diff` compares against
+/// the committed goldens. Deliberately excludes wall-clock time and the
+/// thread count so same-seed runs are byte-identical across machines'
+/// parallelism (the CI determinism gate relies on this).
+struct FigureResult {
+    static constexpr int kSchemaVersion = 1;
+
+    std::string figure;  ///< registry name, e.g. "fig06"
+    std::string title;
+    double scale = 1.0;
+    std::uint64_t seed = 0;
+    int seeds = 1;
+    std::vector<RunResult> cells;
+
+    RunResult& add_cell(const std::string& label);
+    const RunResult* find_cell(const std::string& label) const;
+
+    util::Json to_json() const;
+    static FigureResult from_json(const util::Json& json);
+
+    /// Flat CSV rows (cell,window,metric,mean,ci95,n), one per metric.
+    std::string to_csv() const;
+};
+
+/// Convert one sweep cell into a RunResult: per window, per flow, the
+/// across-seed mean/CI of kbps / stddev / delay, plus fairness and the
+/// aggregate throughput when the window spans several flows. `windows`
+/// must be the SweepConfig windows the sweep ran with (for labels and
+/// flow ids).
+RunResult run_result_from_sweep(const SweepResult& sweep, const std::vector<SweepWindow>& windows);
+
+}  // namespace ezflow::analysis

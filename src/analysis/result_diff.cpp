@@ -1,0 +1,133 @@
+#include "analysis/result_diff.h"
+
+#include <cmath>
+
+namespace ezflow::analysis {
+
+namespace {
+
+bool within_tolerance(double golden, double candidate, const DiffOptions& options)
+{
+    if (options.bit_exact) return golden == candidate;
+    const double magnitude = std::max(std::fabs(golden), std::fabs(candidate));
+    return std::fabs(golden - candidate) <= options.abs_tol + options.rel_tol * magnitude;
+}
+
+void add_finding(DiffReport& report, DiffFinding::Kind kind, std::string path,
+                 std::string message, double golden = 0.0, double candidate = 0.0)
+{
+    report.findings.push_back(
+        DiffFinding{kind, std::move(path), golden, candidate, std::move(message)});
+}
+
+void diff_metric(DiffReport& report, const std::string& path, const MetricStat& golden,
+                 const MetricStat& candidate, const DiffOptions& options)
+{
+    ++report.metrics_compared;
+    if (!within_tolerance(golden.mean, candidate.mean, options)) {
+        add_finding(report, DiffFinding::Kind::kValue, path + ".mean",
+                    "mean out of tolerance", golden.mean, candidate.mean);
+    }
+    // Confidence widths and seed counts only matter for exactness: a
+    // tolerance-mode diff compares the estimates, not their noise.
+    if (options.bit_exact) {
+        if (golden.ci95 != candidate.ci95)
+            add_finding(report, DiffFinding::Kind::kValue, path + ".ci95",
+                        "ci95 not bit-exact", golden.ci95, candidate.ci95);
+        if (golden.n != candidate.n)
+            add_finding(report, DiffFinding::Kind::kValue, path + ".n", "seed count differs",
+                        golden.n, candidate.n);
+    }
+}
+
+void diff_window(DiffReport& report, const std::string& path, const WindowResult& golden,
+                 const WindowResult& candidate, const DiffOptions& options)
+{
+    for (const auto& [name, stat] : golden.metrics) {
+        const MetricStat* other = candidate.find(name);
+        if (other == nullptr) {
+            add_finding(report, DiffFinding::Kind::kMissingMetric, path + ".metrics[" + name + "]",
+                        "metric missing from candidate");
+            continue;
+        }
+        diff_metric(report, path + ".metrics[" + name + "]", stat, *other, options);
+    }
+    for (const auto& [name, stat] : candidate.metrics) {
+        if (golden.find(name) == nullptr)
+            add_finding(report, DiffFinding::Kind::kExtraMetric, path + ".metrics[" + name + "]",
+                        "metric absent from golden (regenerate goldens?)");
+    }
+}
+
+}  // namespace
+
+DiffReport diff_results(const FigureResult& golden, const FigureResult& candidate,
+                        const DiffOptions& options)
+{
+    DiffReport report;
+    if (golden.figure != candidate.figure)
+        add_finding(report, DiffFinding::Kind::kMetadata, "figure",
+                    "figure name mismatch: golden '" + golden.figure + "' vs candidate '" +
+                        candidate.figure + "'");
+    if (golden.scale != candidate.scale || golden.seed != candidate.seed ||
+        golden.seeds != candidate.seeds)
+        add_finding(report, DiffFinding::Kind::kMetadata, "options",
+                    "run options differ (scale/seed/seeds) — not comparable");
+
+    for (const RunResult& cell : golden.cells) {
+        const RunResult* other = candidate.find_cell(cell.label);
+        const std::string cell_path = "cells[" + cell.label + "]";
+        if (other == nullptr) {
+            add_finding(report, DiffFinding::Kind::kMissingCell, cell_path,
+                        "cell missing from candidate");
+            continue;
+        }
+        for (const WindowResult& window : cell.windows) {
+            const WindowResult* other_window = other->find_window(window.label);
+            const std::string window_path = cell_path + ".windows[" + window.label + "]";
+            if (other_window == nullptr) {
+                add_finding(report, DiffFinding::Kind::kMissingWindow, window_path,
+                            "window missing from candidate");
+                continue;
+            }
+            diff_window(report, window_path, window, *other_window, options);
+        }
+        // Candidate windows the golden lacks: new coverage must be pinned
+        // by regenerating the goldens, not slipped past the diff.
+        for (const WindowResult& window : other->windows) {
+            if (cell.find_window(window.label) == nullptr)
+                add_finding(report, DiffFinding::Kind::kExtraWindow,
+                            cell_path + ".windows[" + window.label + "]",
+                            "window absent from golden (regenerate goldens?)");
+        }
+    }
+    for (const RunResult& cell : candidate.cells) {
+        if (golden.find_cell(cell.label) == nullptr)
+            add_finding(report, DiffFinding::Kind::kExtraCell, "cells[" + cell.label + "]",
+                        "cell absent from golden (regenerate goldens?)");
+    }
+    return report;
+}
+
+std::string DiffReport::to_string() const
+{
+    std::string out;
+    for (const DiffFinding& finding : findings) {
+        out += "  FAIL " + finding.path + ": " + finding.message;
+        if (finding.kind == DiffFinding::Kind::kValue) {
+            out += " (golden " + util::Json::number_to_string(finding.golden) + ", candidate " +
+                   util::Json::number_to_string(finding.candidate);
+            const double magnitude =
+                std::max(std::fabs(finding.golden), std::fabs(finding.candidate));
+            if (magnitude > 0) {
+                const double rel = std::fabs(finding.golden - finding.candidate) / magnitude;
+                out += ", rel " + util::Json::number_to_string(rel);
+            }
+            out += ")";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace ezflow::analysis

@@ -1,0 +1,448 @@
+#include "cli/app.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/result_diff.h"
+#include "cli/registry.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace ezflow::cli {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int usage(const char* message = nullptr)
+{
+    if (message != nullptr) std::fprintf(stderr, "ezflow: %s\n\n", message);
+    std::printf(
+        "usage: ezflow <command> [args]\n"
+        "\n"
+        "  list  [--category=figure|table|ablation|example|micro]\n"
+        "        enumerate the registered scenarios/figures\n"
+        "  run   <figure...> [--scale=F] [--seed=N] [--seeds=K] [--threads=T]\n"
+        "        [--out=DIR] [--csv=DIR] [--smoke] [--all] [--json-only] [--quiet]\n"
+        "        run figures; with --out, write <out>/<figure>.json (+ .csv)\n"
+        "        --smoke uses each figure's canned fast grid (the goldens grid)\n"
+        "  sweep <figure...> --grid=axis=v1:v2[,axis=...] [run flags]\n"
+        "        cross-product sweep over axes scale, seeds, seed, threads\n"
+        "  diff  <golden> <candidate> [--rel-tol=R] [--abs-tol=A] [--bit-exact]\n"
+        "        compare result JSON files (or directories of them); exit 1 on drift\n"
+        "  help  show this text\n"
+        "\n"
+        "Former bench/example binaries map 1:1 onto registered names; see `ezflow list`.\n");
+    return message == nullptr ? 0 : 2;
+}
+
+/// The flags every run-like command understands; everything else is kept
+/// as a figure-specific extra.
+struct RunFlags {
+    double scale = -1.0;  ///< <0: use the spec default
+    std::uint64_t seed = 7;
+    int seeds = -1;  ///< <0: use the spec default
+    int threads = 0;
+    std::string out_dir;
+    std::string csv_dir;
+    bool smoke = false;
+    bool all = false;
+    bool json_only = false;
+    bool quiet = false;
+    std::map<std::string, std::string> extra;
+};
+
+/// Throws std::invalid_argument (caught by the command dispatchers and
+/// turned into a usage error) on malformed numeric flag values.
+RunFlags parse_run_flags(const util::Cli& cli)
+{
+    RunFlags flags;
+    flags.scale = cli.get_double("scale", -1.0);
+    const std::string seed_text = cli.get("seed", "7");
+    if (seed_text.empty() || seed_text[0] == '-')  // stoull would silently wrap negatives
+        throw std::invalid_argument("seed");
+    flags.seed = std::stoull(seed_text);  // full 64-bit seed range
+    flags.seeds = cli.get_int("seeds", -1);
+    flags.threads = cli.get_int("threads", 0);
+    flags.out_dir = cli.get("out", "");
+    flags.csv_dir = cli.get("csv", "");
+    flags.smoke = cli.get_bool("smoke", false);
+    flags.all = cli.get_bool("all", false);
+    flags.json_only = cli.get_bool("json-only", false);
+    flags.quiet = cli.get_bool("quiet", false);
+    // Anything not claimed above rides along as a figure-specific knob
+    // (e.g. quickstart's --hops), exposed via FigureContext::extra.
+    static const std::set<std::string> known = {"scale", "seed",      "seeds", "threads",
+                                               "out",   "csv",       "smoke", "all",
+                                               "grid",  "json-only", "quiet", "rel-tol",
+                                               "abs-tol", "bit-exact", "category"};
+    for (const auto& [name, value] : cli.flags())
+        if (known.count(name) == 0) flags.extra[name] = value;
+    return flags;
+}
+
+FigureContext make_context(const FigureSpec& spec, const RunFlags& flags)
+{
+    FigureContext ctx;
+    ctx.spec = &spec;
+    // An explicit flag always wins; --smoke only replaces the defaults.
+    ctx.scale = flags.scale > 0 ? flags.scale
+                                : (flags.smoke ? spec.smoke_scale : spec.default_scale);
+    ctx.seed = flags.seed;
+    ctx.seeds = flags.seeds > 0 ? flags.seeds
+                                : (flags.smoke ? spec.smoke_seeds : spec.default_seeds);
+    ctx.threads = flags.threads;
+    ctx.csv_dir = flags.csv_dir;
+    ctx.extra = flags.extra;
+    return ctx;
+}
+
+/// Format "mean +/-ci" with a precision that adapts to the magnitude.
+std::string format_stat(const analysis::MetricStat& stat)
+{
+    std::ostringstream os;
+    os.precision(4);
+    os << stat.mean;
+    if (stat.n > 1 && stat.ci95 > 0) {
+        os << " +/-";
+        os.precision(3);
+        os << stat.ci95;
+    }
+    return os.str();
+}
+
+/// Generic human-readable report: one table per cell, metrics as rows and
+/// windows as columns (the transpose of most of the former printf
+/// tables, but uniform across every figure).
+void print_report(const FigureSpec& spec, const analysis::FigureResult& result)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", spec.name.c_str(), spec.title.c_str());
+    if (!spec.paper_ref.empty()) std::printf("(reproduces %s)\n", spec.paper_ref.c_str());
+    std::printf("==============================================================\n");
+    for (const analysis::RunResult& cell : result.cells) {
+        std::printf("\n%s:\n", cell.label.c_str());
+        std::vector<std::string> header = {"metric"};
+        for (const analysis::WindowResult& window : cell.windows) header.push_back(window.label);
+        util::Table table(header);
+        // Metric rows in first-appearance order across windows.
+        std::vector<std::string> names;
+        for (const analysis::WindowResult& window : cell.windows)
+            for (const auto& [name, stat] : window.metrics)
+                if (std::find(names.begin(), names.end(), name) == names.end())
+                    names.push_back(name);
+        for (const std::string& name : names) {
+            std::vector<std::string> row = {name};
+            for (const analysis::WindowResult& window : cell.windows) {
+                const analysis::MetricStat* stat = window.find(name);
+                row.push_back(stat != nullptr ? format_stat(*stat) : "-");
+            }
+            table.add_row(row);
+        }
+        std::printf("%s", table.to_string().c_str());
+    }
+    std::printf("[run] scale %g, seed %llu, %d seed(s)\n", result.scale,
+                static_cast<unsigned long long>(result.seed), result.seeds);
+    if (!spec.expectation.empty()) std::printf("\nExpected shape: %s\n", spec.expectation.c_str());
+}
+
+bool write_file(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "ezflow: failed to write %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool write_outputs(const RunFlags& flags, const analysis::FigureResult& result)
+{
+    if (flags.out_dir.empty()) return true;
+    fs::create_directories(flags.out_dir);
+    const std::string base = flags.out_dir + "/" + result.figure;
+    if (!write_file(base + ".json", result.to_json().dump() + "\n")) return false;
+    if (!flags.json_only && !write_file(base + ".csv", result.to_csv())) return false;
+    if (!flags.quiet) std::printf("[out] wrote %s.json%s\n", base.c_str(),
+                                  flags.json_only ? "" : " and .csv");
+    return true;
+}
+
+std::vector<const FigureSpec*> resolve_figures(const std::vector<std::string>& names,
+                                               bool all_runnable, std::string& error)
+{
+    FigureRegistry& registry = FigureRegistry::instance();
+    std::vector<const FigureSpec*> specs;
+    if (all_runnable) {
+        for (const FigureSpec* spec : registry.list())
+            if (spec->runnable()) specs.push_back(spec);
+        return specs;
+    }
+    for (const std::string& name : names) {
+        const FigureSpec* spec = registry.find(name);
+        if (spec == nullptr) {
+            error = "unknown figure '" + name + "' (see `ezflow list`)";
+            return {};
+        }
+        if (!spec->runnable()) {
+            error = "'" + name + "' is a standalone " + spec->category +
+                    " harness; run build/bench/" + name + " directly";
+            return {};
+        }
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+int cmd_list(const util::Cli& cli)
+{
+    register_builtin_figures();
+    const std::string category = cli.get("category", "");
+    util::Table table({"name", "category", "scale", "seeds", "title"});
+    for (const FigureSpec* spec : FigureRegistry::instance().list()) {
+        if (!category.empty() && spec->category != category) continue;
+        table.add_row({spec->name + (spec->aka.empty() ? "" : " (" + spec->aka + ")"),
+                       spec->category + (spec->runnable() ? "" : " [standalone]"),
+                       util::Table::num(spec->default_scale, 2), std::to_string(spec->default_seeds),
+                       spec->title});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("%zu entries. `ezflow run <name>` runs one; `ezflow help` for flags.\n",
+                table.rows());
+    return 0;
+}
+
+int run_one(const FigureSpec& spec, const RunFlags& flags)
+{
+    FigureContext ctx = make_context(spec, flags);
+    try {
+        if (!ctx.csv_dir.empty()) fs::create_directories(ctx.csv_dir);
+        const analysis::FigureResult result = spec.run(ctx);
+        for (const auto& [name, value] : ctx.extra) {
+            if (ctx.extra_consumed.count(name) == 0)
+                std::fprintf(stderr, "ezflow: warning: --%s is not used by figure '%s'\n",
+                             name.c_str(), spec.name.c_str());
+        }
+        if (!flags.quiet) print_report(spec, result);
+        if (!write_outputs(flags, result)) return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ezflow: figure '%s' failed: %s\n", spec.name.c_str(), e.what());
+        return 1;
+    }
+    return 0;
+}
+
+int cmd_run(const util::Cli& cli)
+{
+    register_builtin_figures();
+    const RunFlags flags = parse_run_flags(cli);
+    std::vector<std::string> names(cli.positional().begin() + 1, cli.positional().end());
+    if (names.empty() && !flags.all) return usage("run: no figures given (or use --all)");
+    std::string error;
+    const auto specs = resolve_figures(names, flags.all, error);
+    if (!error.empty()) return usage(error.c_str());
+    int rc = 0;
+    for (const FigureSpec* spec : specs) rc = std::max(rc, run_one(*spec, flags));
+    return rc;
+}
+
+/// Parse "--grid=scale=0.02:0.05,seeds=2:4" into ordered (axis, values).
+bool parse_grid(const std::string& grid,
+                std::vector<std::pair<std::string, std::vector<std::string>>>& axes)
+{
+    std::stringstream all(grid);
+    std::string axis_spec;
+    while (std::getline(all, axis_spec, ',')) {
+        const std::size_t eq = axis_spec.find('=');
+        if (eq == std::string::npos) return false;
+        const std::string axis = axis_spec.substr(0, eq);
+        if (axis != "scale" && axis != "seeds" && axis != "seed" && axis != "threads")
+            return false;
+        for (const auto& [existing, values] : axes)
+            if (existing == axis) return false;  // a duplicate axis would clobber the first
+        std::vector<std::string> values;
+        std::stringstream vs(axis_spec.substr(eq + 1));
+        std::string value;
+        while (std::getline(vs, value, ':'))
+            if (!value.empty()) values.push_back(value);
+        if (values.empty()) return false;
+        axes.emplace_back(axis, std::move(values));
+    }
+    return !axes.empty();
+}
+
+int cmd_sweep(const util::Cli& cli)
+{
+    register_builtin_figures();
+    RunFlags flags = parse_run_flags(cli);
+    std::vector<std::string> names(cli.positional().begin() + 1, cli.positional().end());
+    if (names.empty() && !flags.all) return usage("sweep: no figures given (or use --all)");
+    std::vector<std::pair<std::string, std::vector<std::string>>> axes;
+    if (!parse_grid(cli.get("grid", ""), axes))
+        return usage("sweep: --grid=axis=v1:v2[,axis=...] with axes scale/seeds/seed/threads");
+    std::string error;
+    const auto specs = resolve_figures(names, flags.all, error);
+    if (!error.empty()) return usage(error.c_str());
+
+    // Cross product, first axis slowest.
+    std::vector<std::map<std::string, std::string>> points{{}};
+    for (const auto& [axis, values] : axes) {
+        std::vector<std::map<std::string, std::string>> next;
+        for (const auto& point : points) {
+            for (const std::string& value : values) {
+                auto extended = point;
+                extended[axis] = value;
+                next.push_back(std::move(extended));
+            }
+        }
+        points = std::move(next);
+    }
+
+    const std::string out_root = flags.out_dir;
+    int rc = 0;
+    for (const FigureSpec* spec : specs) {
+        for (const auto& point : points) {
+            RunFlags point_flags = flags;
+            std::string suffix;
+            for (const auto& [axis, value] : point) {
+                suffix += "_" + axis + value;
+                if (axis == "scale") point_flags.scale = std::stod(value);
+                if (axis == "seeds") point_flags.seeds = std::stoi(value);
+                if (axis == "seed") point_flags.seed = std::stoull(value);
+                if (axis == "threads") point_flags.threads = std::stoi(value);
+            }
+            if (!out_root.empty()) point_flags.out_dir = out_root + "/" + spec->name + suffix;
+            if (!flags.quiet)
+                std::printf("[sweep] %s%s\n", spec->name.c_str(), suffix.c_str());
+            // With --out, per-point results go to files and the console
+            // reports are suppressed; without it, printing is all there is.
+            if (!out_root.empty()) point_flags.quiet = true;
+            rc = std::max(rc, run_one(*spec, point_flags));
+        }
+    }
+    return rc;
+}
+
+analysis::FigureResult load_result(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return analysis::FigureResult::from_json(util::Json::parse(buffer.str()));
+}
+
+int diff_files(const std::string& golden_path, const std::string& candidate_path,
+               const analysis::DiffOptions& options)
+{
+    const analysis::FigureResult golden = load_result(golden_path);
+    const analysis::FigureResult candidate = load_result(candidate_path);
+    const analysis::DiffReport report = analysis::diff_results(golden, candidate, options);
+    if (report.passed()) {
+        std::printf("PASS %s (%d metrics within %s)\n", golden.figure.c_str(),
+                    report.metrics_compared,
+                    options.bit_exact
+                        ? "bit-exact"
+                        : ("rel " + util::Json::number_to_string(options.rel_tol)).c_str());
+        return 0;
+    }
+    std::printf("FAIL %s: %zu finding(s)\n%s", golden.figure.c_str(), report.findings.size(),
+                report.to_string().c_str());
+    return 1;
+}
+
+int cmd_diff(const util::Cli& cli)
+{
+    if (cli.positional().size() != 3)
+        return usage("diff: expected <golden> <candidate> (files or directories)");
+    const std::string golden = cli.positional()[1];
+    const std::string candidate = cli.positional()[2];
+    analysis::DiffOptions options;
+    options.rel_tol = cli.get_double("rel-tol", options.rel_tol);
+    options.abs_tol = cli.get_double("abs-tol", options.abs_tol);
+    options.bit_exact = cli.get_bool("bit-exact", false);
+
+    try {
+        if (!fs::is_directory(golden))
+            return diff_files(golden, candidate, options);
+        // Directory mode: every golden *.json must have a passing partner.
+        std::vector<std::string> names;
+        for (const auto& entry : fs::directory_iterator(golden))
+            if (entry.path().extension() == ".json") names.push_back(entry.path().filename());
+        std::sort(names.begin(), names.end());
+        if (names.empty()) return usage("diff: no *.json files in golden directory");
+        int rc = 0;
+        for (const std::string& name : names) {
+            const std::string candidate_path = candidate + "/" + name;
+            if (!fs::exists(candidate_path)) {
+                std::printf("FAIL %s: missing from %s\n", name.c_str(), candidate.c_str());
+                rc = 1;
+                continue;
+            }
+            rc = std::max(rc, diff_files(golden + "/" + name, candidate_path, options));
+        }
+        // Candidate-only results are failures too: a new figure must be
+        // pinned by committing its golden, not slip past the gate.
+        for (const auto& entry : fs::directory_iterator(candidate)) {
+            const std::string name = entry.path().filename();
+            if (entry.path().extension() == ".json" &&
+                std::find(names.begin(), names.end(), name) == names.end()) {
+                std::printf("FAIL %s: no golden for it (regenerate goldens?)\n", name.c_str());
+                rc = 1;
+            }
+        }
+        return rc;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ezflow: diff failed: %s\n", e.what());
+        return 2;
+    }
+}
+
+}  // namespace
+
+int run_app(int argc, char** argv)
+{
+    const util::Cli cli(argc, argv);
+    if (cli.positional().empty()) return usage("missing command");
+    const std::string& command = cli.positional().front();
+    try {
+        if (command == "list") return cmd_list(cli);
+        if (command == "run") return cmd_run(cli);
+        if (command == "sweep") return cmd_sweep(cli);
+        if (command == "diff") return cmd_diff(cli);
+    } catch (const std::invalid_argument&) {
+        return usage("malformed numeric flag value");
+    } catch (const std::out_of_range&) {
+        return usage("numeric flag value out of range");
+    }
+    if (command == "help" || command == "--help") return usage();
+    return usage(("unknown command '" + command + "'").c_str());
+}
+
+int run_figure_main(const std::string& name, int argc, char** argv)
+{
+    register_builtin_figures();
+    const FigureSpec* spec = FigureRegistry::instance().find(name);
+    if (spec == nullptr || !spec->runnable()) {
+        std::fprintf(stderr, "ezflow: figure '%s' is not registered\n", name.c_str());
+        return 2;
+    }
+    const util::Cli cli(argc, argv);
+    try {
+        return run_one(*spec, parse_run_flags(cli));
+    } catch (const std::invalid_argument&) {
+        return usage("malformed numeric flag value");
+    } catch (const std::out_of_range&) {
+        return usage("numeric flag value out of range");
+    }
+}
+
+}  // namespace ezflow::cli

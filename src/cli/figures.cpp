@@ -1,0 +1,38 @@
+#include "cli/figures.h"
+
+#include "cli/registry.h"
+
+namespace ezflow::cli {
+
+void register_micro_entries()
+{
+    FigureRegistry& registry = FigureRegistry::instance();
+    // The micro benchmarks are google-benchmark harnesses with their own
+    // flag surface (--benchmark_filter etc.); they are listed here for
+    // discoverability but stay standalone binaries under build/bench/.
+    registry.add(FigureSpec{
+        "micro_core", "", "micro", "google-benchmark microbenchmarks of the core hot paths",
+        "run build/bench/micro_core directly", "", 1.0, 1, 1.0, 1, nullptr});
+    registry.add(FigureSpec{
+        "micro_scheduler", "", "micro",
+        "google-benchmark microbenchmarks of the event scheduler",
+        "run build/bench/micro_scheduler directly", "", 1.0, 1, 1.0, 1, nullptr});
+}
+
+void register_builtin_figures()
+{
+    static const bool registered = [] {
+        register_chain_figures();
+        register_testbed_figures();
+        register_scenario1_figures();
+        register_scenario2_figures();
+        register_model_figures();
+        register_ablation_figures();
+        register_example_figures();
+        register_micro_entries();
+        return true;
+    }();
+    (void)registered;
+}
+
+}  // namespace ezflow::cli

@@ -1,0 +1,295 @@
+// The example workloads, registered so `ezflow run` can exercise them
+// with the same structured-result/golden machinery as the paper figures.
+// The former standalone example binaries remain as thin launchers.
+
+#include <map>
+#include <memory>
+
+#include "cli/figures.h"
+#include "cli/figures_common.h"
+#include "core/agent.h"
+#include "core/caa.h"
+#include "model/lyapunov.h"
+#include "model/region.h"
+#include "model/walk.h"
+#include "net/topologies.h"
+#include "traffic/sink.h"
+#include "traffic/source.h"
+#include "util/stats.h"
+
+namespace ezflow::cli {
+
+namespace {
+
+using namespace ezflow::analysis;
+
+// -- quickstart: one K-hop chain, both policies --------------------------
+
+FigureResult run_quickstart(const FigureContext& ctx)
+{
+    const int hops = ctx.extra_int("hops", 4);
+    // --duration keeps the former standalone binary's flag working.
+    const double duration_s = ctx.extra_double("duration", 300.0 * ctx.scale);
+    FigureResult result = make_result(ctx);
+    for (const Mode mode : {Mode::kBaseline80211, Mode::kEzFlow}) {
+        ExperimentOptions options;
+        options.mode = mode;
+        Experiment experiment(net::make_line(hops, duration_s, ctx.seed), options);
+        experiment.run();
+
+        const double warmup_s = 0.3 * duration_s;
+        const auto summary = experiment.summarize(0, warmup_s, duration_s);
+        WindowResult& window = result.add_cell(mode_name(mode)).add_window("settled");
+        window.set("goodput_kbps", metric_point(summary.mean_kbps));
+        window.set("delay_s", metric_point(summary.mean_delay_s));
+        window.set("delay_max_s", metric_point(summary.max_delay_s));
+        for (int n = 1; n < hops; ++n) {
+            const std::string prefix = "N" + std::to_string(n);
+            window.set(prefix + ".buf_mean",
+                       metric_point(experiment.buffers().mean_occupancy(
+                           n, util::from_seconds(warmup_s), util::from_seconds(duration_s))));
+            window.set(prefix + ".drops",
+                       metric_point(static_cast<double>(
+                           experiment.network().node(n).forward_queue_drops())));
+        }
+        if (mode == Mode::kEzFlow) {
+            for (int n = 0; n < hops; ++n)
+                if (const core::EzFlowAgent* agent = experiment.agent(n))
+                    window.set("cw" + std::to_string(n),
+                               metric_point(agent->cw_toward(n + 1)));
+        }
+    }
+    return result;
+}
+
+// -- parking_lot: testbed parking-lot fairness ---------------------------
+
+FigureResult run_parking_lot(const FigureContext& ctx)
+{
+    const double duration_s = ctx.extra_double("duration", 400.0 * ctx.scale);
+    const int cap = ctx.extra_int("cap", 1 << 10);
+
+    ExperimentOptions options;
+    options.caa.max_cw = cap;  // the testbed's MadWifi driver capped at 2^10
+    const ExperimentFactory baseline(ScenarioSpec::testbed(5, duration_s, 5, duration_s),
+                                     options);
+
+    SweepConfig config;
+    config.windows.push_back(SweepWindow{"settled", 0.3 * duration_s, duration_s, {1, 2}});
+    config.seeds = ctx.seed_grid();
+    config.keep_experiments = true;  // to read the EZ agents' final windows
+
+    const auto sweeps = SweepRunner(ctx.threads).run_grid(
+        {baseline, baseline.with_mode(Mode::kEzFlow)}, config);
+
+    FigureResult result = make_result(ctx);
+    for (const SweepResult& sweep : sweeps)
+        result.cells.push_back(run_result_from_sweep(sweep, config.windows));
+
+    // The self-throttled source windows of the first EZ-Flow run.
+    const Experiment& ez = *sweeps[1].experiments.front();
+    const net::Scenario& s = ez.scenario();
+    WindowResult& window = result.cells.back().windows.front();
+    window.set("F1.source_cw",
+               metric_point(ez.agent(s.flows[0].path[0])->cw_toward(s.flows[0].path[1])));
+    window.set("F2.source_cw",
+               metric_point(ez.agent(s.flows[1].path[0])->cw_toward(s.flows[1].path[1])));
+    return result;
+}
+
+// -- backhaul_gateway: scenario 1's settled two-flow regime --------------
+
+FigureResult run_backhaul_gateway(const FigureContext& ctx)
+{
+    // Measure the settled two-flow regime of the paper's timeline.
+    const double both_begin = (605.0 + 360.0) * ctx.scale;
+    const double both_end = 1804.0 * ctx.scale;
+    SweepConfig config;
+    config.windows.push_back(SweepWindow{"both flows", both_begin, both_end, {1, 2}});
+    config.seeds = ctx.seed_grid();
+
+    const ExperimentFactory baseline(ScenarioSpec::scenario1(ctx.scale), {});
+    const auto sweeps = SweepRunner(ctx.threads).run_grid(
+        {baseline, baseline.with_mode(Mode::kEzFlow)}, config);
+
+    FigureResult result = make_result(ctx);
+    for (const SweepResult& sweep : sweeps)
+        result.cells.push_back(run_result_from_sweep(sweep, config.windows));
+    return result;
+}
+
+// -- voip_mesh: voice tail latency next to a greedy bulk flow ------------
+
+void voip_run(const FigureContext& ctx, FigureResult& result, bool ezflow, double duration_s)
+{
+    net::Scenario scenario = net::make_line(4, duration_s, ctx.seed);
+    net::Network& network = *scenario.network;
+    // Voice flow shares the same path (flow id 1).
+    network.add_flow(1, scenario.flows[0].path);
+
+    std::map<net::NodeId, std::unique_ptr<core::EzFlowAgent>> agents;
+    if (ezflow) agents = core::install_ezflow(network, core::CaaConfig{});
+
+    traffic::Sink sink(network);
+    sink.attach_flow(0);
+    sink.attach_flow(1);
+    traffic::CbrSource bulk(network, 0, 1000, 2e6);  // greedy background
+    bulk.activate(util::from_seconds(5), util::from_seconds(duration_s));
+    traffic::CbrSource voice(network, 1, 200, 64'000.0);  // 40 pkt/s voice
+    voice.activate(util::from_seconds(5), util::from_seconds(duration_s));
+
+    network.run_until(util::from_seconds(duration_s));
+
+    const auto& record = sink.flow(1);
+    std::vector<double> delays_ms;
+    const double from = 0.3 * duration_s;
+    const auto& times = record.delay_series.times();
+    const auto& values = record.delay_series.values();
+    for (std::size_t i = 0; i < times.size(); ++i)
+        if (util::to_seconds(times[i]) >= from) delays_ms.push_back(values[i] / 1000.0);
+
+    WindowResult& window =
+        result.add_cell(ezflow ? "EZ-flow" : "IEEE 802.11").add_window("voice");
+    window.set("delivered", metric_point(static_cast<double>(record.packets)));
+    window.set("delay_p50_ms",
+               metric_point(delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 50)));
+    window.set("delay_p95_ms",
+               metric_point(delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 95)));
+    window.set("delay_p99_ms",
+               metric_point(delays_ms.empty() ? 0.0 : util::percentile(delays_ms, 99)));
+}
+
+FigureResult run_voip_mesh(const FigureContext& ctx)
+{
+    const double duration_s = ctx.extra_double("duration", 400.0 * ctx.scale);
+    FigureResult result = make_result(ctx);
+    voip_run(ctx, result, false, duration_s);
+    voip_run(ctx, result, true, duration_s);
+    return result;
+}
+
+// -- adaptive_traffic: windows breathing with an on-off flow -------------
+
+FigureResult run_adaptive_traffic(const FigureContext& ctx)
+{
+    const double duration_s = ctx.extra_double("duration", 600.0 * ctx.scale);
+    net::Scenario scenario = net::make_testbed(5, duration_s, 5, duration_s, ctx.seed);
+    net::Network& network = *scenario.network;
+
+    auto agents = core::install_ezflow(network, core::CaaConfig{});
+    traffic::Sink sink(network);
+    sink.attach_flow(1);
+    sink.attach_flow(2);
+
+    // F1 carries steady CBR; F2 is bursty on-off traffic at the junction.
+    traffic::CbrSource steady(network, 1, 1000, 2e6);
+    steady.activate(util::from_seconds(5), util::from_seconds(duration_s));
+    traffic::OnOffSource bursty(network, 2, 1000, 2e6, /*mean_on_s=*/30.0, /*mean_off_s=*/30.0);
+    bursty.activate(util::from_seconds(5), util::from_seconds(duration_s));
+
+    // Sample the two sources' windows at each quarter of the run.
+    const net::NodeId f1_src = scenario.flows[0].path[0];
+    const net::NodeId f2_src = scenario.flows[1].path[0];
+    FigureResult result = make_result(ctx);
+    RunResult& cell = result.add_cell("EZ-flow / steady + bursty");
+    for (int quarter = 1; quarter <= 4; ++quarter) {
+        network.run_until(util::from_seconds(duration_s * quarter / 4.0));
+        WindowResult& window = cell.add_window("q" + std::to_string(quarter));
+        window.set("F1.source_cw",
+                   metric_point(agents.at(f1_src)->cw_toward(scenario.flows[0].path[1])));
+        window.set("F2.source_cw",
+                   metric_point(agents.at(f2_src)->cw_toward(scenario.flows[1].path[1])));
+        window.set("F1.delivered", metric_point(static_cast<double>(sink.flow(1).packets)));
+        window.set("F2.delivered", metric_point(static_cast<double>(sink.flow(2).packets)));
+    }
+    return result;
+}
+
+// -- model_explorer: the Section 6 slotted walk, directly ----------------
+
+FigureResult run_model_explorer(const FigureContext& ctx)
+{
+    const int hops = ctx.extra_int("hops", 4);
+    const auto slots =
+        static_cast<std::uint64_t>(ctx.extra_double("slots", 200000 * ctx.scale));
+    const long long fixed_cw = ctx.extra_int("cw", 32);
+
+    FigureResult result = make_result(ctx);
+    for (const bool ezflow : {false, true}) {
+        model::RandomWalkModel::Config config;
+        config.hops = hops;
+        config.ezflow_enabled = ezflow;
+        if (!ezflow) config.initial_cw.assign(static_cast<std::size_t>(hops), fixed_cw);
+
+        model::RandomWalkModel walk(config, util::Rng(ctx.seed));
+        std::map<int, std::uint64_t> region_time;
+        RunResult& cell =
+            result.add_cell(ezflow ? "EZ-flow dynamics (Eq. 2)" : "fixed windows");
+        for (int quarter = 1; quarter <= 4; ++quarter) {
+            for (std::uint64_t i = 0; i < slots / 4; ++i) {
+                walk.step();
+                ++region_time[walk.region()];
+            }
+            WindowResult& window = cell.add_window("q" + std::to_string(quarter));
+            window.set("h", metric_point(static_cast<double>(walk.total_backlog())));
+            window.set("delivered", metric_point(static_cast<double>(walk.delivered())));
+        }
+        WindowResult& shares = cell.add_window("region time share");
+        for (const auto& [region, count] : region_time)
+            shares.set(model::region_name(region, hops - 1),
+                       metric_point(static_cast<double>(count) /
+                                    static_cast<double>(walk.slots())));
+    }
+    return result;
+}
+
+}  // namespace
+
+void register_example_figures()
+{
+    FigureRegistry& registry = FigureRegistry::instance();
+    registry.add(FigureSpec{
+        "quickstart", "", "example",
+        "K-hop chain quickstart: 802.11 vs EZ-flow end to end",
+        "the smallest end-to-end use of the library's public API",
+        "EZ-flow stabilizes the chain plain 802.11 cannot: relay queues drain, goodput rises, "
+        "delay collapses. Extra flag: --hops=<k>.",
+        1.0, 1, 0.15, 1, run_quickstart});
+    registry.add(FigureSpec{
+        "parking_lot", "", "example",
+        "testbed parking lot: short flow starves long flow",
+        "Table 2's scenario as a library example",
+        "802.11 starves the 7-hop flow; with EZ-flow both sources self-throttle and the "
+        "fairness index recovers. Extra flag: --cap=<max_cw>.",
+        1.0, 2, 0.2, 2, run_parking_lot});
+    registry.add(FigureSpec{
+        "backhaul_gateway", "", "example",
+        "two 8-hop access flows merging toward the gateway",
+        "the workload the paper's introduction motivates (Fig. 2 / Fig. 5)",
+        "EZ-flow keeps the merge smooth while plain 802.11 congests; no message passing — "
+        "each node sniffs its successor's forwards and steers only its own CWmin.",
+        0.2, 4, 0.05, 2, run_backhaul_gateway});
+    registry.add(FigureSpec{
+        "voip_mesh", "", "example",
+        "64 kb/s voice flow sharing a 4-hop backhaul with greedy bulk",
+        "the delay-sensitive workload of the introduction",
+        "Voice packets queue behind the bulk flow's backlog at every relay; EZ-flow keeps "
+        "those buffers drained, so tail latency drops by an order of magnitude.",
+        1.0, 1, 0.15, 1, run_voip_mesh});
+    registry.add(FigureSpec{
+        "adaptive_traffic", "", "example",
+        "EZ-flow windows breathing with a bursty on-off flow",
+        "the adaptivity property Section 2.2 demands",
+        "Both source windows follow the offered load up and down without any signalling: they "
+        "climb while the burst is on and decay during silences.",
+        1.0, 1, 0.1, 1, run_adaptive_traffic});
+    registry.add(FigureSpec{
+        "model_explorer", "", "example",
+        "drive the Section 6 slotted random-walk model directly",
+        "the stability boundary without packet-level simulation",
+        "With fixed windows the backlog h(b) grows roughly linearly for hops >= 4; with "
+        "EZ-flow it stays within tens of packets (Theorem 1). Extra flags: --hops, --cw.",
+        1.0, 1, 0.1, 1, run_model_explorer});
+}
+
+}  // namespace ezflow::cli

@@ -1,0 +1,70 @@
+#include "cli/registry.h"
+
+#include <stdexcept>
+
+namespace ezflow::cli {
+
+std::vector<std::uint64_t> FigureContext::seed_grid() const
+{
+    std::vector<std::uint64_t> grid;
+    grid.reserve(static_cast<std::size_t>(seeds));
+    for (int i = 0; i < seeds; ++i) grid.push_back(seed + static_cast<std::uint64_t>(i));
+    return grid;
+}
+
+int FigureContext::extra_int(const std::string& name, int fallback) const
+{
+    extra_consumed.insert(name);
+    const auto it = extra.find(name);
+    if (it == extra.end()) return fallback;
+    return std::stoi(it->second);  // throws on malformed input, like core flags
+}
+
+double FigureContext::extra_double(const std::string& name, double fallback) const
+{
+    extra_consumed.insert(name);
+    const auto it = extra.find(name);
+    if (it == extra.end()) return fallback;
+    return std::stod(it->second);
+}
+
+bool FigureContext::extra_bool(const std::string& name, bool fallback) const
+{
+    extra_consumed.insert(name);
+    const auto it = extra.find(name);
+    if (it == extra.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+}
+
+FigureRegistry& FigureRegistry::instance()
+{
+    static FigureRegistry registry;
+    return registry;
+}
+
+void FigureRegistry::add(FigureSpec spec)
+{
+    if (spec.name.empty()) throw std::invalid_argument("FigureRegistry: empty name");
+    if (find(spec.name) != nullptr || (!spec.aka.empty() && find(spec.aka) != nullptr))
+        throw std::invalid_argument("FigureRegistry: duplicate figure '" + spec.name + "'");
+    specs_.emplace(spec.name, std::move(spec));
+}
+
+const FigureSpec* FigureRegistry::find(const std::string& name) const
+{
+    const auto it = specs_.find(name);
+    if (it != specs_.end()) return &it->second;
+    for (const auto& [key, spec] : specs_)
+        if (spec.aka == name) return &spec;
+    return nullptr;
+}
+
+std::vector<const FigureSpec*> FigureRegistry::list() const
+{
+    std::vector<const FigureSpec*> specs;
+    specs.reserve(specs_.size());
+    for (const auto& [key, spec] : specs_) specs.push_back(&spec);
+    return specs;  // std::map iteration is already name-sorted
+}
+
+}  // namespace ezflow::cli

@@ -21,6 +21,8 @@ public:
 
     const std::vector<std::string>& positional() const { return positional_; }
     const std::string& program() const { return program_; }
+    /// All parsed `--name=value` flags (switches carry the value "true").
+    const std::map<std::string, std::string>& flags() const { return flags_; }
 
 private:
     std::string program_;

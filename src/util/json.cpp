@@ -1,0 +1,396 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ezflow::util {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted)
+{
+    throw std::runtime_error(std::string("Json: value is not ") + wanted);
+}
+
+void append_escaped(std::string& out, const std::string& s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+/// Recursive-descent parser over a raw byte range.
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    Json parse_document()
+    {
+        Json value = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return value;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what)
+    {
+        throw std::runtime_error("Json::parse: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* literal)
+    {
+        std::size_t n = 0;
+        while (literal[n] != '\0') ++n;
+        if (text_.compare(pos_, n, literal) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    // Deep enough for any real result document, shallow enough that a
+    // corrupt/adversarial file fails cleanly instead of overflowing the
+    // parser's recursion stack.
+    static constexpr int kMaxDepth = 256;
+
+    Json parse_value()
+    {
+        if (++depth_ > kMaxDepth) fail("nesting deeper than 256 levels");
+        struct DepthGuard {
+            int& depth;
+            ~DepthGuard() { --depth; }
+        } guard{depth_};
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("invalid literal");
+                return Json(true);
+            case 'f':
+                if (!consume_literal("false")) fail("invalid literal");
+                return Json(false);
+            case 'n':
+                if (!consume_literal("null")) fail("invalid literal");
+                return Json();
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object()
+    {
+        expect('{');
+        Json object = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return object;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            object.set(key, parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return object;
+        }
+    }
+
+    Json parse_array()
+    {
+        expect('[');
+        Json array = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return array;
+        }
+        while (true) {
+            array.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return array;
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code += static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code += static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("invalid \\u escape");
+                    }
+                    // The writer only emits \u for C0 controls; decode the
+                    // BMP cases we can and store others as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("invalid escape character");
+            }
+        }
+    }
+
+    Json parse_number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+                ++pos_;
+            else
+                break;
+        }
+        if (pos_ == start) fail("invalid value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') fail("invalid number '" + token + "'");
+        return Json(value);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::array()
+{
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+}
+
+Json Json::object()
+{
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+}
+
+bool Json::as_bool() const
+{
+    if (type_ != Type::kBool) type_error("a bool");
+    return bool_;
+}
+
+double Json::as_number() const
+{
+    if (type_ != Type::kNumber) type_error("a number");
+    return number_;
+}
+
+const std::string& Json::as_string() const
+{
+    if (type_ != Type::kString) type_error("a string");
+    return string_;
+}
+
+std::size_t Json::size() const
+{
+    if (type_ == Type::kArray) return elements_.size();
+    if (type_ == Type::kObject) return members_.size();
+    return 0;
+}
+
+void Json::push_back(Json value)
+{
+    if (type_ != Type::kArray) type_error("an array");
+    elements_.push_back(std::move(value));
+}
+
+const Json& Json::at(std::size_t index) const
+{
+    if (type_ != Type::kArray) type_error("an array");
+    if (index >= elements_.size()) throw std::runtime_error("Json: array index out of range");
+    return elements_[index];
+}
+
+Json& Json::set(const std::string& key, Json value)
+{
+    if (type_ != Type::kObject) type_error("an object");
+    for (auto& [k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const Json* Json::find(const std::string& key) const
+{
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+std::string Json::number_to_string(double value)
+{
+    if (!std::isfinite(value)) return "null";
+    char buf[32];
+    for (const int precision : {15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value) break;
+    }
+    return buf;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+    const char* newline = indent > 0 ? "\n" : "";
+    switch (type_) {
+        case Type::kNull: out += "null"; break;
+        case Type::kBool: out += bool_ ? "true" : "false"; break;
+        case Type::kNumber: out += number_to_string(number_); break;
+        case Type::kString: append_escaped(out, string_); break;
+        case Type::kArray: {
+            if (elements_.empty()) {
+                out += "[]";
+                break;
+            }
+            out += '[';
+            out += newline;
+            for (std::size_t i = 0; i < elements_.size(); ++i) {
+                out += pad;
+                elements_[i].dump_to(out, indent, depth + 1);
+                if (i + 1 < elements_.size()) out += ',';
+                out += newline;
+            }
+            out += close_pad;
+            out += ']';
+            break;
+        }
+        case Type::kObject: {
+            if (members_.empty()) {
+                out += "{}";
+                break;
+            }
+            out += '{';
+            out += newline;
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                out += pad;
+                append_escaped(out, members_[i].first);
+                out += indent > 0 ? ": " : ":";
+                members_[i].second.dump_to(out, indent, depth + 1);
+                if (i + 1 < members_.size()) out += ',';
+                out += newline;
+            }
+            out += close_pad;
+            out += '}';
+            break;
+        }
+    }
+}
+
+std::string Json::dump(int indent) const
+{
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+Json Json::parse(const std::string& text)
+{
+    Parser parser(text);
+    return parser.parse_document();
+}
+
+}  // namespace ezflow::util

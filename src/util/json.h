@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ezflow::util {
+
+/// Minimal JSON document: the machine-readable side of the result
+/// pipeline (`ezflow run --out=...` emits it, `ezflow diff` reads it
+/// back). Design constraints that rule out a third-party library:
+///  * object keys keep insertion order, so dumps are byte-stable and the
+///    CI determinism gate can compare outputs byte-for-byte;
+///  * doubles round-trip exactly (shortest representation that parses
+///    back to the same bits), so a dump -> parse -> dump cycle is the
+///    identity and bit-exact diffs are meaningful.
+class Json {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() : type_(Type::kNull) {}
+    Json(bool value) : type_(Type::kBool), bool_(value) {}
+    Json(double value) : type_(Type::kNumber), number_(value) {}
+    Json(int value) : type_(Type::kNumber), number_(value) {}
+    Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+    Json(std::uint64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+    Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+    Json(const char* value) : type_(Type::kString), string_(value) {}
+
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::kNull; }
+    bool is_number() const { return type_ == Type::kNumber; }
+    bool is_string() const { return type_ == Type::kString; }
+    bool is_array() const { return type_ == Type::kArray; }
+    bool is_object() const { return type_ == Type::kObject; }
+
+    /// Typed accessors; throw std::runtime_error on a type mismatch.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+
+    /// Array element count or object member count (0 for scalars).
+    std::size_t size() const;
+
+    // -- Array interface --------------------------------------------------
+    void push_back(Json value);
+    const Json& at(std::size_t index) const;
+    const std::vector<Json>& elements() const { return elements_; }
+
+    // -- Object interface (insertion-ordered) -----------------------------
+    /// Insert or overwrite a member; returns *this for chaining.
+    Json& set(const std::string& key, Json value);
+    /// Member lookup; nullptr when absent (or when not an object).
+    const Json* find(const std::string& key) const;
+    const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+    /// Serialize. `indent` > 0 pretty-prints with that many spaces per
+    /// level; 0 emits the compact single-line form.
+    std::string dump(int indent = 2) const;
+
+    /// Parse a complete document (trailing garbage is an error). Throws
+    /// std::runtime_error with a byte offset on malformed input.
+    static Json parse(const std::string& text);
+
+    /// Exact-round-trip rendering of a double (shortest of %.15g/%.16g/
+    /// %.17g that parses back to the same value); "1e99"-style exponents,
+    /// never inf/nan (serialized as null per JSON).
+    static std::string number_to_string(double value);
+
+private:
+    void dump_to(std::string& out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ezflow::util

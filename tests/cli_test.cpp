@@ -1,0 +1,132 @@
+#include "cli/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cli/figures.h"
+
+namespace ezflow::cli {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+protected:
+    void SetUp() override { register_builtin_figures(); }
+};
+
+TEST_F(RegistryTest, RegistrationIsIdempotent)
+{
+    const std::size_t count = FigureRegistry::instance().size();
+    register_builtin_figures();
+    register_builtin_figures();
+    EXPECT_EQ(FigureRegistry::instance().size(), count);
+}
+
+TEST_F(RegistryTest, EnumeratesEveryFormerBenchAndExampleTarget)
+{
+    // Every former standalone main must be reachable by name.
+    const std::vector<std::string> expected = {
+        // bench figures/tables
+        "fig01", "fig04", "fig06", "fig07", "fig08", "fig10", "fig11", "fig12",
+        "table1", "table2", "table3", "table4",
+        // bench ablations
+        "ablation_pacer", "ablation_penalty_q", "ablation_phy_capture", "ablation_rtscts",
+        "ablation_sample_window", "ablation_sniff_loss", "ablation_thresholds",
+        // micro harnesses (listed, standalone)
+        "micro_core", "micro_scheduler",
+        // examples
+        "quickstart", "parking_lot", "backhaul_gateway", "voip_mesh", "adaptive_traffic",
+        "model_explorer"};
+    for (const std::string& name : expected)
+        EXPECT_NE(FigureRegistry::instance().find(name), nullptr) << name;
+    EXPECT_GE(FigureRegistry::instance().size(), expected.size());
+}
+
+TEST_F(RegistryTest, FindResolvesFormerTargetNames)
+{
+    const FigureSpec* by_aka = FigureRegistry::instance().find("fig06_scenario1_throughput");
+    ASSERT_NE(by_aka, nullptr);
+    EXPECT_EQ(by_aka->name, "fig06");
+    EXPECT_EQ(by_aka, FigureRegistry::instance().find("fig06"));
+    EXPECT_EQ(FigureRegistry::instance().find("no_such_figure"), nullptr);
+}
+
+TEST_F(RegistryTest, ListIsNameSortedAndCategorized)
+{
+    const auto specs = FigureRegistry::instance().list();
+    ASSERT_FALSE(specs.empty());
+    EXPECT_TRUE(std::is_sorted(specs.begin(), specs.end(),
+                               [](const FigureSpec* a, const FigureSpec* b) {
+                                   return a->name < b->name;
+                               }));
+    for (const FigureSpec* spec : specs) {
+        EXPECT_FALSE(spec->title.empty()) << spec->name;
+        EXPECT_TRUE(spec->category == "figure" || spec->category == "table" ||
+                    spec->category == "ablation" || spec->category == "example" ||
+                    spec->category == "micro")
+            << spec->name << " has category " << spec->category;
+        // Only the micro google-benchmark harnesses are non-runnable.
+        EXPECT_EQ(spec->runnable(), spec->category != "micro") << spec->name;
+    }
+}
+
+TEST_F(RegistryTest, DuplicateRegistrationThrows)
+{
+    FigureSpec duplicate;
+    duplicate.name = "fig06";
+    EXPECT_THROW(FigureRegistry::instance().add(std::move(duplicate)), std::invalid_argument);
+    FigureSpec aka_clash;
+    aka_clash.name = "brand_new";
+    aka_clash.aka = "fig06";
+    // An aka colliding with an existing canonical name is also rejected.
+    EXPECT_THROW(FigureRegistry::instance().add(std::move(aka_clash)), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, SmokeGridsAreFasterThanDefaults)
+{
+    for (const FigureSpec* spec : FigureRegistry::instance().list()) {
+        if (!spec->runnable()) continue;
+        EXPECT_LE(spec->smoke_scale, spec->default_scale) << spec->name;
+        EXPECT_LE(spec->smoke_seeds, spec->default_seeds) << spec->name;
+        EXPECT_GT(spec->smoke_scale, 0.0) << spec->name;
+        EXPECT_GE(spec->smoke_seeds, 1) << spec->name;
+    }
+}
+
+TEST_F(RegistryTest, ContextDerivesSeedGridAndExtras)
+{
+    FigureContext ctx;
+    ctx.seed = 100;
+    ctx.seeds = 3;
+    ctx.extra = {{"hops", "6"}, {"flag", "false"}};
+    EXPECT_EQ(ctx.seed_grid(), (std::vector<std::uint64_t>{100, 101, 102}));
+    EXPECT_EQ(ctx.extra_int("hops", 4), 6);
+    EXPECT_EQ(ctx.extra_int("absent", 4), 4);
+    EXPECT_FALSE(ctx.extra_bool("flag", true));
+    EXPECT_TRUE(ctx.extra_bool("absent", true));
+}
+
+TEST_F(RegistryTest, RunnableFigureProducesStructuredResult)
+{
+    const FigureSpec* spec = FigureRegistry::instance().find("quickstart");
+    ASSERT_NE(spec, nullptr);
+    FigureContext ctx;
+    ctx.spec = spec;
+    ctx.scale = 0.1;  // 30 simulated seconds
+    ctx.seed = 7;
+    ctx.seeds = 1;
+    ctx.threads = 1;
+    const analysis::FigureResult result = spec->run(ctx);
+    EXPECT_EQ(result.figure, "quickstart");
+    ASSERT_EQ(result.cells.size(), 2u);  // 802.11 and EZ-flow
+    for (const analysis::RunResult& cell : result.cells) {
+        ASSERT_FALSE(cell.windows.empty());
+        EXPECT_NE(cell.windows[0].find("goodput_kbps"), nullptr);
+    }
+    // And it serializes to stable JSON.
+    const auto json = result.to_json();
+    EXPECT_EQ(analysis::FigureResult::from_json(json).to_json().dump(), json.dump());
+}
+
+}  // namespace
+}  // namespace ezflow::cli

@@ -1,0 +1,115 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ezflow::util {
+namespace {
+
+TEST(Json, ScalarDump)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(0.1).dump(), "0.1");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd\te").dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+    const Json parsed = Json::parse("\"a\\\"b\\\\c\\nd\\te\\u0041\"");
+    EXPECT_EQ(parsed.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder)
+{
+    Json object = Json::object();
+    object.set("zeta", 1).set("alpha", 2).set("mid", 3);
+    EXPECT_EQ(object.dump(0), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+    // Overwrite keeps the original position.
+    object.set("alpha", 9);
+    EXPECT_EQ(object.dump(0), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, NumbersRoundTripExactly)
+{
+    for (const double value : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 123456.789,
+                               0.30000000000000004}) {
+        const std::string text = Json::number_to_string(value);
+        const Json parsed = Json::parse(text);
+        EXPECT_EQ(parsed.as_number(), value) << text;
+    }
+}
+
+TEST(Json, DumpParseDumpIsIdentity)
+{
+    Json root = Json::object();
+    root.set("name", "fig06");
+    root.set("pi", 3.141592653589793);
+    Json array = Json::array();
+    array.push_back(1);
+    array.push_back(Json::object().set("nested", true));
+    array.push_back(Json());
+    root.set("values", std::move(array));
+    const std::string once = root.dump();
+    const std::string twice = Json::parse(once).dump();
+    EXPECT_EQ(once, twice);
+}
+
+TEST(Json, ParseWhitespaceAndNesting)
+{
+    const Json parsed = Json::parse("  { \"a\" : [ 1 , 2.5 , { \"b\" : null } ] }  ");
+    ASSERT_TRUE(parsed.is_object());
+    const Json* a = parsed.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_EQ(a->at(0).as_number(), 1.0);
+    EXPECT_EQ(a->at(1).as_number(), 2.5);
+    EXPECT_TRUE(a->at(2).find("b")->is_null());
+}
+
+TEST(Json, ParseErrors)
+{
+    EXPECT_THROW(Json::parse(""), std::runtime_error);
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+    EXPECT_THROW(Json::parse("nul"), std::runtime_error);
+    EXPECT_THROW(Json::parse("1.2.3"), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    EXPECT_THROW(Json(1.0).as_string(), std::runtime_error);
+    EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+    EXPECT_THROW(Json().push_back(1), std::runtime_error);
+    EXPECT_THROW(Json::array().set("k", 1), std::runtime_error);
+    EXPECT_EQ(Json(1.0).find("k"), nullptr);
+}
+
+TEST(Json, DeepNestingFailsCleanly)
+{
+    // Past the parser's recursion cap the error must be a clean throw,
+    // not a stack overflow.
+    const std::string deep(100000, '[');
+    EXPECT_THROW(Json::parse(deep), std::runtime_error);
+    // Well under the cap still parses.
+    std::string ok;
+    for (int i = 0; i < 100; ++i) ok += '[';
+    ok += "1";
+    for (int i = 0; i < 100; ++i) ok += ']';
+    EXPECT_EQ(Json::parse(ok).size(), 1u);
+}
+
+TEST(Json, NonFiniteSerializesAsNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+}  // namespace
+}  // namespace ezflow::util

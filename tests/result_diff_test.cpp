@@ -1,0 +1,170 @@
+#include "analysis/result_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/result.h"
+#include "util/json.h"
+
+namespace ezflow::analysis {
+namespace {
+
+FigureResult make_golden()
+{
+    FigureResult result;
+    result.figure = "fig06";
+    result.title = "throughput";
+    result.scale = 0.05;
+    result.seed = 7;
+    result.seeds = 2;
+    RunResult& cell = result.add_cell("scenario1 / IEEE 802.11");
+    WindowResult& window = cell.add_window("F1 alone");
+    window.set("F1.kbps", MetricStat{150.0, 4.0, 2});
+    window.set("fairness", MetricStat{0.9, 0.01, 2});
+    return result;
+}
+
+TEST(ResultDiff, IdenticalResultsPass)
+{
+    const FigureResult golden = make_golden();
+    const DiffReport report = diff_results(golden, golden, DiffOptions{});
+    EXPECT_TRUE(report.passed());
+    EXPECT_EQ(report.metrics_compared, 2);
+}
+
+TEST(ResultDiff, WithinTolerancePasses)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].set("F1.kbps", MetricStat{155.0, 5.0, 2});  // +3.3%
+    DiffOptions options;
+    options.rel_tol = 0.05;
+    EXPECT_TRUE(diff_results(golden, candidate, options).passed());
+}
+
+TEST(ResultDiff, OutOfToleranceFails)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].set("F1.kbps", MetricStat{180.0, 4.0, 2});  // +20%
+    DiffOptions options;
+    options.rel_tol = 0.05;
+    const DiffReport report = diff_results(golden, candidate, options);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, DiffFinding::Kind::kValue);
+    EXPECT_NE(report.to_string().find("F1.kbps"), std::string::npos);
+}
+
+TEST(ResultDiff, AbsToleranceCoversNearZero)
+{
+    FigureResult golden = make_golden();
+    golden.cells[0].windows[0].set("delay_s", MetricStat{0.0, 0.0, 2});
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].set("delay_s", MetricStat{1e-12, 0.0, 2});
+    DiffOptions options;
+    options.rel_tol = 0.0;
+    options.abs_tol = 1e-9;
+    EXPECT_TRUE(diff_results(golden, candidate, options).passed());
+}
+
+TEST(ResultDiff, MissingMetricFails)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].metrics.pop_back();  // drop "fairness"
+    const DiffReport report = diff_results(golden, candidate, DiffOptions{});
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, DiffFinding::Kind::kMissingMetric);
+}
+
+TEST(ResultDiff, ExtraMetricFlagged)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].set("new_metric", MetricStat{1.0, 0.0, 1});
+    const DiffReport report = diff_results(golden, candidate, DiffOptions{});
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, DiffFinding::Kind::kExtraMetric);
+}
+
+TEST(ResultDiff, ExtraWindowAndCellFlagged)
+{
+    const FigureResult golden = make_golden();
+    FigureResult extra_window = make_golden();
+    extra_window.cells[0].add_window("new window").set("m", MetricStat{1.0, 0.0, 1});
+    const DiffReport window_report = diff_results(golden, extra_window, DiffOptions{});
+    ASSERT_EQ(window_report.findings.size(), 1u);
+    EXPECT_EQ(window_report.findings[0].kind, DiffFinding::Kind::kExtraWindow);
+
+    FigureResult extra_cell = make_golden();
+    extra_cell.add_cell("new cell");
+    const DiffReport cell_report = diff_results(golden, extra_cell, DiffOptions{});
+    ASSERT_EQ(cell_report.findings.size(), 1u);
+    EXPECT_EQ(cell_report.findings[0].kind, DiffFinding::Kind::kExtraCell);
+}
+
+TEST(ResultDiff, MissingWindowAndCellFail)
+{
+    const FigureResult golden = make_golden();
+    FigureResult no_window = make_golden();
+    no_window.cells[0].windows.clear();
+    EXPECT_EQ(diff_results(golden, no_window, DiffOptions{}).findings[0].kind,
+              DiffFinding::Kind::kMissingWindow);
+    FigureResult no_cell = make_golden();
+    no_cell.cells.clear();
+    EXPECT_EQ(diff_results(golden, no_cell, DiffOptions{}).findings[0].kind,
+              DiffFinding::Kind::kMissingCell);
+}
+
+TEST(ResultDiff, MetadataMismatchFails)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.scale = 0.1;
+    const DiffReport report = diff_results(golden, candidate, DiffOptions{});
+    EXPECT_FALSE(report.passed());
+    EXPECT_EQ(report.findings[0].kind, DiffFinding::Kind::kMetadata);
+}
+
+TEST(ResultDiff, BitExactCatchesUlpDrift)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].metrics[0].second.mean += 1e-13;  // within any rel_tol
+    EXPECT_TRUE(diff_results(golden, candidate, DiffOptions{}).passed());
+    DiffOptions exact;
+    exact.bit_exact = true;
+    EXPECT_FALSE(diff_results(golden, candidate, exact).passed());
+    EXPECT_TRUE(diff_results(golden, golden, exact).passed());
+}
+
+TEST(ResultDiff, BitExactComparesCiAndSeedCount)
+{
+    const FigureResult golden = make_golden();
+    FigureResult candidate = make_golden();
+    candidate.cells[0].windows[0].metrics[0].second.n = 3;
+    DiffOptions exact;
+    exact.bit_exact = true;
+    EXPECT_FALSE(diff_results(golden, candidate, exact).passed());
+}
+
+TEST(ResultDiff, JsonRoundTripPreservesDiffEquality)
+{
+    const FigureResult golden = make_golden();
+    const FigureResult reloaded =
+        FigureResult::from_json(util::Json::parse(golden.to_json().dump()));
+    DiffOptions exact;
+    exact.bit_exact = true;
+    EXPECT_TRUE(diff_results(golden, reloaded, exact).passed());
+    EXPECT_EQ(golden.to_json().dump(), reloaded.to_json().dump());
+}
+
+TEST(ResultDiff, CsvHasOneRowPerMetric)
+{
+    const std::string csv = make_golden().to_csv();
+    EXPECT_NE(csv.find("figure,cell,window,metric,mean,ci95,n"), std::string::npos);
+    EXPECT_NE(csv.find("fig06,scenario1 / IEEE 802.11,F1 alone,F1.kbps,150,4,2"),
+              std::string::npos);
+}
+
+}  // namespace
+}  // namespace ezflow::analysis

@@ -1,0 +1,10 @@
+// The unified `ezflow` scenario-runner CLI. All logic lives in the
+// library (src/cli/); this translation unit only exists so the binary
+// has a main.
+
+#include "cli/app.h"
+
+int main(int argc, char** argv)
+{
+    return ezflow::cli::run_app(argc, argv);
+}
