@@ -5,13 +5,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "analysis/experiment.h"
 #include "core/boe.h"
 #include "core/caa.h"
+#include "mac/contention.h"
+#include "mac/dcf.h"
 #include "mac/mac_queue.h"
 #include "model/walk.h"
 #include "net/packet.h"
 #include "net/topologies.h"
+#include "phy/channel.h"
 #include "sim/scheduler.h"
 #include "traffic/source.h"
 
@@ -92,6 +98,125 @@ void BM_ModelStep(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelStep)->Arg(4)->Arg(8);
+
+net::Packet bench_packet(std::uint64_t seq)
+{
+    net::Packet p;
+    p.uid = seq;
+    p.seq = seq;
+    p.flow_id = 0;
+    p.bytes = 1000;
+    return p;
+}
+
+/// Saturated single-hop contention bed: `nodes` DcfMacs in mutual carrier
+/// sense, each flooding its neighbour, CWmin forced to `cw` (EZ-Flow
+/// adapts CWmin within [2^4, 2^15], so large windows are the production
+/// regime — and the regime where per-slot backoff events dominate).
+struct ContentionBed {
+    sim::Scheduler scheduler;
+    phy::Channel channel;
+    mac::ContentionCoordinator coordinator{scheduler};
+    std::vector<std::unique_ptr<phy::NodePhy>> phys;
+    std::vector<std::unique_ptr<mac::DcfMac>> macs;
+
+    struct NullCallbacks final : mac::MacCallbacks {
+        void mac_rx(const phy::Frame&) override {}
+        void mac_sniffed(const phy::Frame&) override {}
+        void mac_first_tx(const mac::QueueKey&, const net::Packet&) override {}
+        void mac_tx_success(const mac::QueueKey&, const net::Packet&) override {}
+        void mac_tx_drop(const mac::QueueKey&, const net::Packet&) override {}
+    } callbacks;
+    std::uint64_t next_seq = 0;
+
+    ContentionBed(int nodes, int cw) : channel(scheduler, util::Rng(7), phy::PhyParams{})
+    {
+        mac::MacParams mp;
+        mp.cw_min = cw;
+        for (int i = 0; i < nodes; ++i) {
+            phys.push_back(
+                std::make_unique<phy::NodePhy>(i, phy::Position{i * 10.0, 0.0}, scheduler));
+            channel.attach(*phys.back());
+            macs.push_back(std::make_unique<mac::DcfMac>(*phys.back(), scheduler, coordinator,
+                                                         util::Rng(1000 + i), mp));
+            macs.back()->set_callbacks(&callbacks);
+        }
+        top_up();
+    }
+
+    void top_up()
+    {
+        const int nodes = static_cast<int>(macs.size());
+        for (int i = 0; i < nodes; ++i) {
+            const mac::QueueKey key{(i + 1) % nodes, true};
+            while (macs[i]->enqueue(key, bench_packet(next_seq++))) {
+            }
+        }
+        scheduler.schedule_in(10 * util::kMillisecond, [this] { top_up(); });
+    }
+};
+
+void BM_BackoffContention(benchmark::State& state)
+{
+    // Simulated-time throughput of N contending MACs. items = simulated
+    // microseconds; the events counter exposes how many scheduler events
+    // one simulated second of contention costs (the quantity the batched
+    // coordinator collapses).
+    const int nodes = static_cast<int>(state.range(0));
+    const int cw = static_cast<int>(state.range(1));
+    const util::SimTime sim_us = 2 * util::kSecond;
+    std::uint64_t events = 0;
+    std::uint64_t attempts = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ContentionBed bed(nodes, cw);
+        state.ResumeTiming();
+        bed.scheduler.run_until(sim_us);
+        events += bed.scheduler.processed();
+        for (const auto& mac : bed.macs) attempts += mac->data_attempts();
+    }
+    state.SetItemsProcessed(state.iterations() * sim_us);
+    state.counters["events"] =
+        benchmark::Counter(static_cast<double>(events) / static_cast<double>(state.iterations()));
+    state.counters["events_per_s"] = benchmark::Counter(static_cast<double>(events),
+                                                        benchmark::Counter::kIsRate);
+    state.counters["tx_attempts"] =
+        benchmark::Counter(static_cast<double>(attempts) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BackoffContention)
+    ->Args({8, 32})
+    ->Args({8, 1024})
+    ->Args({16, 1024})
+    ->Args({8, 16384})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChannelFanout(benchmark::State& state)
+{
+    // Per-transmission delivery cost vs node count on a 200 m-spaced line:
+    // carrier sense reaches ~2 hops either side, so the reachability cull
+    // keeps the cost flat as the line grows.
+    const int nodes = static_cast<int>(state.range(0));
+    sim::Scheduler scheduler;
+    phy::Channel channel(scheduler, util::Rng(7), phy::PhyParams{});
+    std::vector<std::unique_ptr<phy::NodePhy>> phys;
+    for (int i = 0; i < nodes; ++i) {
+        phys.push_back(std::make_unique<phy::NodePhy>(i, phy::Position{i * 200.0, 0.0}, scheduler));
+        channel.attach(*phys.back());
+    }
+    phy::Frame frame;
+    frame.type = phy::FrameType::kData;
+    frame.tx_node = nodes / 2;
+    frame.has_packet = true;
+    frame.packet = bench_packet(1);
+    for (auto _ : state) {
+        phys[static_cast<std::size_t>(nodes) / 2]->start_tx(frame);
+        scheduler.run();  // drain the signal-end and tx-end events
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["reachable"] = benchmark::Counter(
+        static_cast<double>(channel.reachable_count(static_cast<net::NodeId>(nodes / 2))));
+}
+BENCHMARK(BM_ChannelFanout)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_FourHopSimulatedSecond(benchmark::State& state)
 {

@@ -1,5 +1,6 @@
 #include "analysis/sweep.h"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
@@ -9,12 +10,20 @@ namespace ezflow::analysis {
 
 namespace {
 
+// Effort accumulators behind perf_totals(). Wall time is tracked in
+// nanoseconds so a plain integer atomic suffices.
+std::atomic<std::uint64_t> g_events{0};
+std::atomic<std::uint64_t> g_runs{0};
+std::atomic<std::uint64_t> g_wall_ns{0};
+
 /// Run one (cell, seed) task to completion and summarize every window.
 SeedResult run_one(const ExperimentFactory& factory, const SweepConfig& config,
                    std::uint64_t seed, std::unique_ptr<Experiment>* keep)
 {
     std::unique_ptr<Experiment> experiment = factory.make(seed);
     experiment->run();
+    g_events.fetch_add(experiment->network().scheduler().processed(), std::memory_order_relaxed);
+    g_runs.fetch_add(1, std::memory_order_relaxed);
 
     SeedResult result;
     result.seed = seed;
@@ -63,6 +72,15 @@ void aggregate(const SweepConfig& config, SweepResult& sweep)
 
 }  // namespace
 
+PerfTotals perf_totals()
+{
+    PerfTotals totals;
+    totals.events = g_events.load(std::memory_order_relaxed);
+    totals.runs = g_runs.load(std::memory_order_relaxed);
+    totals.wall_seconds = static_cast<double>(g_wall_ns.load(std::memory_order_relaxed)) * 1e-9;
+    return totals;
+}
+
 SweepResult SweepRunner::run(const ExperimentFactory& factory, const SweepConfig& config) const
 {
     std::vector<SweepResult> results = run_grid({factory}, config);
@@ -98,6 +116,7 @@ std::vector<SweepResult> SweepRunner::run_grid(const std::vector<ExperimentFacto
 
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    g_wall_ns.fetch_add(static_cast<std::uint64_t>(wall * 1e9), std::memory_order_relaxed);
     for (SweepResult& result : results) {
         aggregate(config, result);
         result.wall_seconds = wall;

@@ -69,6 +69,21 @@ struct SweepResult {
     double wall_seconds = 0.0;
 };
 
+/// Process-wide tally of simulation effort: scheduler events processed,
+/// completed (cell, seed) runs, and wall time spent inside run_grid. The
+/// CLI reports wall time and events/second from snapshots of this — the
+/// numbers never enter any result JSON, so byte-determinism of results
+/// across thread counts is untouched.
+struct PerfTotals {
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+    double wall_seconds = 0.0;
+};
+
+/// Snapshot of the accumulated totals (monotonic; diff two snapshots to
+/// measure one command).
+PerfTotals perf_totals();
+
 /// Fans an experiment grid (modes x seeds x scenario knobs, expressed as
 /// ExperimentFactory cells x SweepConfig seeds) across a std::thread
 /// pool. One independent Network per task; per-seed RNG streams are

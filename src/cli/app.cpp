@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "analysis/result_diff.h"
+#include "analysis/sweep.h"
 #include "cli/registry.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -152,6 +153,47 @@ void print_report(const FigureSpec& spec, const analysis::FigureResult& result)
     if (!spec.expectation.empty()) std::printf("\nExpected shape: %s\n", spec.expectation.c_str());
 }
 
+/// "1234567" -> "1.23M"-style compact magnitude for the perf report. The
+/// unit thresholds sit at 999.5 so 3-significant-digit rounding can never
+/// produce "1e+03k": anything that would round to 1000 uses the next unit.
+std::string format_magnitude(double value)
+{
+    const char* suffix = "";
+    if (value >= 999.5e9) {
+        value /= 1e12;
+        suffix = "T";
+    } else if (value >= 999.5e6) {
+        value /= 1e9;
+        suffix = "G";
+    } else if (value >= 999.5e3) {
+        value /= 1e6;
+        suffix = "M";
+    } else if (value >= 999.5) {
+        value /= 1e3;
+        suffix = "k";
+    }
+    std::ostringstream os;
+    os.precision(3);
+    os << value << suffix;
+    return os.str();
+}
+
+/// Wall-time/event-rate line for one figure run. Reported to the console
+/// only — the result JSON stays byte-deterministic across thread counts
+/// and machines.
+void print_perf(const FigureSpec& spec, const analysis::PerfTotals& before)
+{
+    const analysis::PerfTotals now = analysis::perf_totals();
+    const std::uint64_t events = now.events - before.events;
+    const std::uint64_t runs = now.runs - before.runs;
+    const double wall = now.wall_seconds - before.wall_seconds;
+    if (runs == 0 || wall <= 0.0) return;
+    std::printf("[perf] %s: %.2f s wall, %s events, %s events/s (%llu run%s)\n",
+                spec.name.c_str(), wall, format_magnitude(static_cast<double>(events)).c_str(),
+                format_magnitude(static_cast<double>(events) / wall).c_str(),
+                static_cast<unsigned long long>(runs), runs == 1 ? "" : "s");
+}
+
 bool write_file(const std::string& path, const std::string& content)
 {
     std::ofstream out(path, std::ios::binary);
@@ -225,13 +267,17 @@ int run_one(const FigureSpec& spec, const RunFlags& flags)
     FigureContext ctx = make_context(spec, flags);
     try {
         if (!ctx.csv_dir.empty()) fs::create_directories(ctx.csv_dir);
+        const analysis::PerfTotals perf_before = analysis::perf_totals();
         const analysis::FigureResult result = spec.run(ctx);
         for (const auto& [name, value] : ctx.extra) {
             if (ctx.extra_consumed.count(name) == 0)
                 std::fprintf(stderr, "ezflow: warning: --%s is not used by figure '%s'\n",
                              name.c_str(), spec.name.c_str());
         }
-        if (!flags.quiet) print_report(spec, result);
+        if (!flags.quiet) {
+            print_report(spec, result);
+            print_perf(spec, perf_before);
+        }
         if (!write_outputs(flags, result)) return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "ezflow: figure '%s' failed: %s\n", spec.name.c_str(), e.what());

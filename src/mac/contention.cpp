@@ -1,0 +1,192 @@
+#include "mac/contention.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ezflow::mac {
+
+ContentionCoordinator::ContentionCoordinator(sim::Scheduler& scheduler)
+    : scheduler_(scheduler), timer_(scheduler, [this] { on_timer(); })
+{
+}
+
+std::size_t ContentionCoordinator::find_index(const BackoffClient& client) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].client == &client) return i;
+    return entries_.size();
+}
+
+bool ContentionCoordinator::is_registered(const BackoffClient& client) const
+{
+    return find_index(client) != entries_.size();
+}
+
+void ContentionCoordinator::register_backoff(BackoffClient& client, int remaining_slots,
+                                             SimTime slot_us)
+{
+    if (remaining_slots < 0)
+        throw std::invalid_argument("ContentionCoordinator::register_backoff: negative count");
+    if (slot_us <= 0)
+        throw std::invalid_argument("ContentionCoordinator::register_backoff: bad slot");
+    if (is_registered(client))
+        throw std::logic_error("ContentionCoordinator::register_backoff: already registered");
+
+    const SimTime now = scheduler_.now();
+    if (now != last_register_at_) {
+        last_register_at_ = now;
+        block_end_ = 0;
+    }
+    Entry entry;
+    entry.client = &client;
+    entry.start = now;
+    entry.slot = slot_us;
+    entry.remaining = remaining_slots;
+    entry.expiry = now + (static_cast<SimTime>(remaining_slots) + 1) * slot_us;
+    // A chain joining now goes in front of every chain that re-armed at an
+    // earlier instant; same-instant joiners keep their arrival order.
+    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(block_end_), entry);
+    ++block_end_;
+    rearm();
+}
+
+bool ContentionCoordinator::precedes_transmitter(std::size_t index) const
+{
+    if (firing_ != nullptr) {
+        const std::size_t tx_index = find_index(*firing_);
+        return index < tx_index;
+    }
+    if (external_depth_ > 0) return external_late_;
+    // Unknown transmitter (e.g. a raw PHY injection in tests): treat its
+    // trigger as armed before the registrant's virtual slot event.
+    return false;
+}
+
+int ContentionCoordinator::freeze(BackoffClient& client)
+{
+    const std::size_t index = find_index(client);
+    if (index == entries_.size())
+        throw std::logic_error("ContentionCoordinator::freeze: not registered");
+    const Entry entry = entries_[index];
+    const SimTime elapsed = scheduler_.now() - entry.start;
+    int consumed = 0;
+    if (elapsed > 0) {
+        // The per-slot reference decrements at boundaries start + k*slot,
+        // k >= 1. Boundaries strictly before now all fired; the boundary
+        // exactly at now fired only when this chain's event preceded the
+        // interrupting transmission in the scheduler's FIFO tie order.
+        const SimTime whole = elapsed / entry.slot;
+        if (elapsed % entry.slot != 0) {
+            consumed = static_cast<int>(whole);
+        } else {
+            consumed = static_cast<int>(whole) - 1 + (precedes_transmitter(index) ? 1 : 0);
+        }
+        consumed = std::min(std::max(consumed, 0), entry.remaining);
+    }
+    slots_batched_ += static_cast<std::uint64_t>(consumed);
+    erase_at(index);
+    return consumed;
+}
+
+void ContentionCoordinator::unregister(BackoffClient& client)
+{
+    const std::size_t index = find_index(client);
+    if (index != entries_.size()) erase_at(index);
+}
+
+void ContentionCoordinator::erase_at(std::size_t index)
+{
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+    // Keep the same-instant insert block aligned when a freeze removes an
+    // entry below it (a hidden node may still register at this instant).
+    if (index < block_end_ && block_end_ > 0) --block_end_;
+    if (!in_fire_) rearm();
+}
+
+void ContentionCoordinator::rearm()
+{
+    if (entries_.empty()) {
+        if (armed_at_ >= 0) {
+            timer_.cancel();
+            armed_at_ = -1;
+            armed_final_ = false;
+        }
+        return;
+    }
+    const Entry* earliest = &entries_.front();
+    for (const Entry& entry : entries_)
+        if (entry.expiry < earliest->expiry) earliest = &entry;
+    const SimTime stage = earliest->expiry - earliest->slot;
+    const SimTime at = scheduler_.now() < stage ? stage : earliest->expiry;
+    const bool final = at == earliest->expiry;
+    if (at != armed_at_ || final != armed_final_) {
+        timer_.arm_at(at);
+        armed_at_ = at;
+        armed_final_ = final;
+    }
+}
+
+void ContentionCoordinator::on_timer()
+{
+    const SimTime now = scheduler_.now();
+    armed_at_ = -1;
+    if (!armed_final_) {
+        // Stage wake-up one slot ahead of the earliest expiry: arm the
+        // expiry event now so it takes the FIFO position the per-slot
+        // reference's last countdown event would have had.
+        rearm();
+        return;
+    }
+    armed_final_ = false;
+    in_fire_ = true;
+    // Fire every counter expiring now in chain order. An expiry's
+    // transmission cascades busy carrier sense synchronously, so due
+    // entries that heard it freeze (and unregister) before their turn —
+    // only stations hidden from every earlier transmitter also fire,
+    // which is exactly how per-slot DCF collides.
+    for (;;) {
+        std::size_t due = entries_.size();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].expiry == now) {
+                due = i;
+                break;
+            }
+        }
+        if (due == entries_.size()) break;
+        BackoffClient* client = entries_[due].client;
+        firing_ = client;
+        ++expiries_;
+        client->backoff_expired();
+        firing_ = nullptr;
+        // The client transmitted (it never freezes on its own carrier);
+        // retire its entry. The cascade may have erased others, so look
+        // the index up again.
+        const std::size_t index = find_index(*client);
+        if (index == entries_.size())
+            throw std::logic_error("ContentionCoordinator: fired entry vanished");
+        erase_at(index);
+    }
+    in_fire_ = false;
+    rearm();
+}
+
+void ContentionCoordinator::begin_external_tx(bool late_trigger)
+{
+    // The busy cascade of a transmission never starts another one
+    // synchronously, so brackets cannot nest — and external_late_ is a
+    // single flag, so silently allowing nesting would corrupt the outer
+    // bracket's tie polarity. Fail loudly instead.
+    if (external_depth_ != 0)
+        throw std::logic_error("ContentionCoordinator::begin_external_tx: nested transmission");
+    ++external_depth_;
+    external_late_ = late_trigger;
+}
+
+void ContentionCoordinator::end_external_tx()
+{
+    if (external_depth_ <= 0)
+        throw std::logic_error("ContentionCoordinator::end_external_tx: not in a transmission");
+    --external_depth_;
+}
+
+}  // namespace ezflow::mac

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/timer.h"
+#include "util/units.h"
+
+namespace ezflow::mac {
+
+using util::SimTime;
+
+/// A station engaged in a batched backoff countdown (implemented by
+/// DcfMac). The coordinator calls back when the registered counter
+/// reaches zero.
+class BackoffClient {
+public:
+    virtual ~BackoffClient() = default;
+    /// The backoff counter expired on an idle medium: transmit now.
+    virtual void backoff_expired() = 0;
+};
+
+/// Per-channel backoff coordinator: collapses the classic one-event-per-
+/// slot countdown (one Timer firing every slot_us for every contending
+/// MAC) into one scheduler event per transmission opportunity.
+///
+/// A MAC that finished its DIFS registers its remaining slot count
+/// instead of arming a per-slot timer; the coordinator keeps a single
+/// timer armed at the earliest expiry across all registrants. When a
+/// registrant's medium goes busy it calls freeze(), which consumes the
+/// number of whole slots that elapsed since registration in one batch —
+/// the same arithmetic the per-slot countdown would have performed, so
+/// transmission instants and Rng consumption are identical while the
+/// event count drops from O(slots) to O(transmissions).
+///
+/// Equivalence with the per-slot reference is exact including ties. The
+/// reference decrements at the *start* of each slot boundary, and a
+/// transmission beginning exactly on a registrant's boundary may arrive
+/// before or after that registrant's slot event depending on scheduler
+/// insertion order (the scheduler breaks time ties FIFO). The
+/// coordinator reproduces that order without per-slot events:
+///  * `entries_` is kept in the order the per-slot timer chains would
+///    fire within one instant: registrants joining at a later instant go
+///    in front (their DIFS event was inserted before the older chains'
+///    most recent re-arm), same-instant registrants keep their
+///    registration order (their DIFS timers fired in insertion order).
+///  * expiries due at the same instant fire in `entries_` order, and a
+///    registrant frozen by an earlier-firing registrant counts the
+///    boundary decrement exactly when it precedes the transmitter in
+///    that order.
+///  * transmissions that do not come from a coordinator expiry announce
+///    themselves via begin_external_tx(late_trigger): a SIFS-timed frame
+///    (ACK/CTS, or data following a CTS) was scheduled *after* the
+///    registrants' virtual slot re-arm one slot earlier, so at an exact
+///    boundary tie the reference would have decremented first
+///    (late_trigger = true); a DIFS/EIFS-end transmission was scheduled
+///    before it and preempts the decrement (late_trigger = false).
+class ContentionCoordinator {
+public:
+    explicit ContentionCoordinator(sim::Scheduler& scheduler);
+    ContentionCoordinator(const ContentionCoordinator&) = delete;
+    ContentionCoordinator& operator=(const ContentionCoordinator&) = delete;
+
+    /// Start a batched countdown for `client`. The caller has already
+    /// consumed the decrement at the current instant (the per-slot
+    /// reference decrements immediately when DIFS elapses);
+    /// `remaining_slots` more decrements are owed, one per further slot
+    /// boundary, and backoff_expired() fires one slot after the last of
+    /// them. Throws if `client` is already registered.
+    void register_backoff(BackoffClient& client, int remaining_slots, SimTime slot_us);
+
+    /// The client's medium went busy: consume the slots that elapsed
+    /// since registration (batch decrement) and unregister. Returns the
+    /// number of slots consumed; the client subtracts it from its
+    /// remaining count. Throws if `client` is not registered.
+    int freeze(BackoffClient& client);
+
+    /// Drop a registration without slot accounting (client teardown).
+    void unregister(BackoffClient& client);
+
+    bool is_registered(const BackoffClient& client) const;
+
+    /// Bracket a transmission that is not driven by a coordinator expiry
+    /// (DIFS-end immediate access, SIFS-timed control frames, data after
+    /// CTS) so that freezes caused by its busy cascade resolve exact
+    /// slot-boundary ties the way the per-slot reference would (see the
+    /// class comment). `late_trigger`: the event that triggered this
+    /// transmission was scheduled less than one slot before now.
+    void begin_external_tx(bool late_trigger);
+    void end_external_tx();
+
+    /// Currently registered backoff counters.
+    std::size_t contenders() const { return entries_.size(); }
+    /// Total slot decrements consumed through batched freezes (stats).
+    std::uint64_t slots_batched() const { return slots_batched_; }
+    /// Total backoff expiries delivered (stats).
+    std::uint64_t expiries() const { return expiries_; }
+
+private:
+    struct Entry {
+        BackoffClient* client;
+        SimTime start;   ///< registration instant (decrement already taken)
+        SimTime slot;    ///< slot duration, microseconds
+        int remaining;   ///< decrements owed after `start`
+        SimTime expiry;  ///< start + (remaining + 1) * slot
+    };
+
+    void on_timer();
+    /// Re-aim the single timer at the earliest registered expiry (or
+    /// disarm when no one is registered). No-op while the due-expiry
+    /// loop runs — it re-arms once, after the last due entry fired.
+    ///
+    /// Arming is two-phase to preserve the scheduler's FIFO tie order
+    /// against the per-slot reference: the reference arms the event that
+    /// transmits at X during the slot boundary at X - slot, so an event
+    /// armed earlier (a DIFS, a SIFS response) due at the same instant X
+    /// fires first. The coordinator therefore wakes once at X - slot (the
+    /// stage event) and only then arms the expiry event for X, giving it
+    /// the same insertion point the reference's final slot event had.
+    void rearm();
+    std::size_t find_index(const BackoffClient& client) const;
+    void erase_at(std::size_t index);
+    /// Whether `entry`'s virtual slot event at the current instant would
+    /// have fired before the transmission that is interrupting it.
+    bool precedes_transmitter(std::size_t index) const;
+
+    sim::Scheduler& scheduler_;
+    sim::Timer timer_;
+    std::vector<Entry> entries_;  ///< virtual per-slot chain order
+    SimTime armed_at_ = -1;       ///< pending wake-up instant (-1: none)
+    bool armed_final_ = false;    ///< armed at an expiry (else at its stage)
+    SimTime last_register_at_ = -1;
+    std::size_t block_end_ = 0;  ///< end of the same-instant insert block
+    const BackoffClient* firing_ = nullptr;
+    int external_depth_ = 0;
+    bool external_late_ = false;
+    bool in_fire_ = false;
+    std::uint64_t slots_batched_ = 0;
+    std::uint64_t expiries_ = 0;
+};
+
+}  // namespace ezflow::mac

@@ -5,18 +5,24 @@
 
 namespace ezflow::mac {
 
-DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, util::Rng rng, MacParams params)
+DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, ContentionCoordinator& coordinator,
+               util::Rng rng, MacParams params)
     : phy_(phy),
       scheduler_(scheduler),
+      coordinator_(coordinator),
       rng_(std::move(rng)),
       params_(params),
       queues_(params.queue_capacity, params.cw_min),
       difs_timer_(scheduler, [this] { on_difs_elapsed(); }),
-      slot_timer_(scheduler, [this] { on_backoff_slot(); }),
       ack_timer_(scheduler, [this] { on_ack_timeout(); }),
       cts_timer_(scheduler, [this] { on_cts_timeout(); })
 {
     phy_.set_listener(this);
+}
+
+DcfMac::~DcfMac()
+{
+    coordinator_.unregister(*this);
 }
 
 bool DcfMac::enqueue(const QueueKey& key, const net::Packet& packet)
@@ -107,7 +113,7 @@ void DcfMac::set_nav_until(SimTime until)
     if (until <= nav_until_ || until <= scheduler_.now()) return;
     nav_until_ = until;
     if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
-        cancel_contention_timers();
+        freeze_contention();
         state_ = State::kWaitMediumIdle;
     }
     scheduler_.schedule_at(nav_until_, [this] { on_nav_expired(); });
@@ -120,26 +126,40 @@ void DcfMac::on_nav_expired()
         start_difs();
 }
 
-void DcfMac::cancel_contention_timers()
+void DcfMac::freeze_contention()
 {
-    difs_timer_.cancel();
-    slot_timer_.cancel();
+    if (state_ == State::kWaitDifs) {
+        difs_timer_.cancel();
+    } else if (state_ == State::kBackoff) {
+        backoff_remaining_ -= coordinator_.freeze(*this);
+    }
 }
 
 void DcfMac::on_difs_elapsed()
 {
     state_ = State::kBackoff;
-    on_backoff_slot();
-}
-
-void DcfMac::on_backoff_slot()
-{
     if (backoff_remaining_ == 0) {
+        // Immediate access: the per-slot countdown would transmit within
+        // this very event. The DIFS timer was armed a full DIFS ago, so
+        // at an exact slot-boundary tie it preempts other stations'
+        // countdown events (late_trigger = false).
+        coordinator_.begin_external_tx(/*late_trigger=*/false);
         start_exchange();
+        coordinator_.end_external_tx();
         return;
     }
+    // Mirror the per-slot reference, which decrements once immediately at
+    // DIFS end; the coordinator owes the rest, one per slot boundary.
     --backoff_remaining_;
-    slot_timer_.arm_in(params_.slot_us);
+    coordinator_.register_backoff(*this, backoff_remaining_, params_.slot_us);
+}
+
+void DcfMac::backoff_expired()
+{
+    if (state_ != State::kBackoff || !in_contention_)
+        throw std::logic_error("DcfMac::backoff_expired: not in backoff");
+    backoff_remaining_ = 0;
+    start_exchange();
 }
 
 SimTime DcfMac::current_data_airtime() const
@@ -266,7 +286,11 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
                 cts_timer_.cancel();
                 // Data follows the CTS after SIFS, without re-contending.
                 scheduler_.schedule_in(params_.sifs_us, [this] {
-                    if (state_ == State::kWaitCts && !phy_.transmitting()) transmit_data();
+                    if (state_ == State::kWaitCts && !phy_.transmitting()) {
+                        coordinator_.begin_external_tx(/*late_trigger=*/true);
+                        transmit_data();
+                        coordinator_.end_external_tx();
+                    }
                 });
             }
             return;
@@ -304,7 +328,7 @@ void DcfMac::schedule_control_if_needed()
     ack_tx_scheduled_ = true;
     // Control responses have SIFS priority: suspend contention timers.
     if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
-        cancel_contention_timers();
+        freeze_contention();
         state_ = State::kWaitMediumIdle;  // re-entered after the response
     }
     scheduler_.schedule_in(params_.sifs_us, [this] { send_pending_control(); });
@@ -328,7 +352,12 @@ void DcfMac::send_pending_control()
     frame.mac_seq = ctrl.seq;
     frame.duration_us = ctrl.duration_us;
     frame.has_packet = false;
+    // SIFS-timed response: its trigger was scheduled after any contending
+    // station's virtual slot re-arm one slot earlier, so boundary ties
+    // resolve in the contenders' favour (late_trigger = true).
+    coordinator_.begin_external_tx(/*late_trigger=*/true);
     phy_.start_tx(frame);
+    coordinator_.end_external_tx();
 }
 
 void DcfMac::on_ack_timeout()
@@ -380,7 +409,7 @@ void DcfMac::phy_busy_changed(bool busy)
 {
     if (busy) {
         if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
-            cancel_contention_timers();
+            freeze_contention();
             state_ = State::kWaitMediumIdle;
         }
         return;

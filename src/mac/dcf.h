@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "mac/contention.h"
 #include "mac/mac_params.h"
 #include "mac/mac_queue.h"
 #include "phy/phy.h"
@@ -43,9 +44,18 @@ public:
 /// is busy, and resumes (same remaining count) after the next idle DIFS.
 /// Retransmissions escalate cw binary-exponentially from the queue's CWmin
 /// (the parameter EZ-Flow adapts) up to max(cw_max_escalation, CWmin).
-class DcfMac final : public phy::PhyListener {
+///
+/// The countdown itself is batched: instead of arming a timer per slot,
+/// the MAC registers its remaining slot count with the channel's shared
+/// ContentionCoordinator and is called back once, at the instant the
+/// per-slot countdown would have reached zero; a busy medium consumes the
+/// elapsed whole slots in one batch. Same DCF dynamics (identical Rng
+/// draws and transmission instants), O(transmissions) scheduler events.
+class DcfMac final : public phy::PhyListener, public BackoffClient {
 public:
-    DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, util::Rng rng, MacParams params);
+    DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, ContentionCoordinator& coordinator,
+           util::Rng rng, MacParams params);
+    ~DcfMac() override;
     DcfMac(const DcfMac&) = delete;
     DcfMac& operator=(const DcfMac&) = delete;
 
@@ -68,6 +78,9 @@ public:
     void phy_busy_changed(bool busy) override;
     void phy_frame_decoded(const phy::Frame& frame) override;
     void phy_tx_done(const phy::Frame& frame) override;
+
+    // --- BackoffClient ---
+    void backoff_expired() override;
 
     // --- statistics ---
     std::uint64_t data_attempts() const { return data_attempts_; }
@@ -97,7 +110,9 @@ private:
     /// Enter the access procedure keeping the current backoff counter.
     void resume_access();
     void start_difs();
-    void cancel_contention_timers();
+    /// Suspend the access procedure: cancel a pending DIFS, or batch-
+    /// consume the backoff slots elapsed since the countdown started.
+    void freeze_contention();
     /// Physical or virtual (NAV) carrier indicates a busy medium.
     bool medium_busy() const;
     /// Extend the NAV to cover a sniffed data frame's ACK exchange.
@@ -106,7 +121,6 @@ private:
     void set_nav_until(SimTime until);
     void on_nav_expired();
     void on_difs_elapsed();
-    void on_backoff_slot();
     /// Start the frame exchange for the committed packet: either the data
     /// frame directly (basic access) or the RTS when the handshake is on.
     void start_exchange();
@@ -124,6 +138,7 @@ private:
 
     phy::NodePhy& phy_;
     sim::Scheduler& scheduler_;
+    ContentionCoordinator& coordinator_;
     util::Rng rng_;
     MacParams params_;
     MacCallbacks* callbacks_ = nullptr;
@@ -139,7 +154,6 @@ private:
     std::uint32_t current_seq_ = 0;
 
     sim::Timer difs_timer_;
-    sim::Timer slot_timer_;
     sim::Timer ack_timer_;
     sim::Timer cts_timer_;
 

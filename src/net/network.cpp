@@ -7,14 +7,16 @@ namespace ezflow::net {
 Network::Network(Config config)
     : config_(config),
       rng_(config.seed),
-      channel_(scheduler_, util::Rng(config.seed ^ 0xC0FFEEULL).fork(), config.phy)
+      channel_(scheduler_, util::Rng(config.seed ^ 0xC0FFEEULL).fork(), config.phy),
+      contention_(scheduler_)
 {
 }
 
 NodeId Network::add_node(phy::Position position)
 {
     const NodeId id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(std::make_unique<Node>(id, position, scheduler_, rng_.fork(), config_.mac, routing_));
+    nodes_.push_back(std::make_unique<Node>(id, position, scheduler_, contention_, rng_.fork(),
+                                            config_.mac, routing_));
     channel_.attach(nodes_.back()->phy());
     return id;
 }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "mac/contention.h"
 #include "mac/mac_params.h"
 #include "net/node.h"
 #include "net/routing.h"
@@ -40,6 +41,7 @@ public:
 
     sim::Scheduler& scheduler() { return scheduler_; }
     phy::Channel& channel() { return channel_; }
+    mac::ContentionCoordinator& contention() { return contention_; }
     StaticRouting& routing() { return routing_; }
     const StaticRouting& routing() const { return routing_; }
     const Config& config() const { return config_; }
@@ -57,6 +59,7 @@ private:
     sim::Scheduler scheduler_;
     util::Rng rng_;
     phy::Channel channel_;
+    mac::ContentionCoordinator contention_;  ///< shared by every node's MAC
     StaticRouting routing_;
     std::vector<std::unique_ptr<Node>> nodes_;
 };

@@ -4,11 +4,12 @@
 
 namespace ezflow::net {
 
-Node::Node(NodeId id, phy::Position position, sim::Scheduler& scheduler, util::Rng rng,
-           const mac::MacParams& mac_params, const StaticRouting& routing)
+Node::Node(NodeId id, phy::Position position, sim::Scheduler& scheduler,
+           mac::ContentionCoordinator& coordinator, util::Rng rng, const mac::MacParams& mac_params,
+           const StaticRouting& routing)
     : id_(id),
       phy_(id, position, scheduler),
-      mac_(phy_, scheduler, std::move(rng), mac_params),
+      mac_(phy_, scheduler, coordinator, std::move(rng), mac_params),
       routing_(routing)
 {
     mac_.set_callbacks(this);

@@ -28,8 +28,9 @@ public:
     /// pacing queue took it instead of the MAC).
     using ForwardInterceptor = std::function<bool(const mac::QueueKey&, const Packet&)>;
 
-    Node(NodeId id, phy::Position position, sim::Scheduler& scheduler, util::Rng rng,
-         const mac::MacParams& mac_params, const StaticRouting& routing);
+    Node(NodeId id, phy::Position position, sim::Scheduler& scheduler,
+         mac::ContentionCoordinator& coordinator, util::Rng rng, const mac::MacParams& mac_params,
+         const StaticRouting& routing);
 
     NodeId id() const { return id_; }
     phy::NodePhy& phy() { return phy_; }

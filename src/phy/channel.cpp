@@ -13,12 +13,42 @@ Channel::Channel(sim::Scheduler& scheduler, util::Rng rng, PhyParams params)
 
 void Channel::attach(NodePhy& phy)
 {
-    for (const NodePhy* existing : phys_) {
-        if (existing->id() == phy.id())
-            throw std::invalid_argument("Channel::attach: duplicate node id");
-    }
+    if (!index_by_id_.emplace(phy.id(), phys_.size()).second)
+        throw std::invalid_argument("Channel::attach: duplicate node id");
     phys_.push_back(&phy);
     phy.set_channel(this);
+    reach_.clear();  // topology grew: rebuild lazily on the next transmit
+}
+
+void Channel::ensure_reach()
+{
+    if (reach_.size() == phys_.size()) return;
+    reach_.assign(phys_.size(), {});
+    for (std::size_t s = 0; s < phys_.size(); ++s) {
+        const NodePhy& sender = *phys_[s];
+        for (NodePhy* phy : phys_) {
+            if (phy == &sender) continue;
+            const double d = distance(sender.position(), phy->position());
+            if (d > params_.cs_range_m && d > params_.interference_range_m) continue;
+            // Two-ray ground power (all scenario distances sit beyond the
+            // ~86 m crossover, so the d^-4 regime applies; the constant
+            // factor cancels in every capture-SIR comparison). Clamp tiny
+            // distances to keep the power finite for co-located nodes.
+            const double d_eff = std::max(d, 1.0);
+            const double power_w = 1.0 / (d_eff * d_eff * d_eff * d_eff);
+            reach_[s].push_back(
+                ReachEntry{phy, d <= params_.tx_range_m, d <= params_.cs_range_m, power_w});
+        }
+    }
+}
+
+std::size_t Channel::reachable_count(net::NodeId tx)
+{
+    const auto it = index_by_id_.find(tx);
+    if (it == index_by_id_.end())
+        throw std::invalid_argument("Channel::reachable_count: unknown node");
+    ensure_reach();
+    return reach_[it->second].size();
 }
 
 void Channel::set_link_loss(net::NodeId tx, net::NodeId rx, double loss_probability)
@@ -84,23 +114,34 @@ void Channel::transmit(NodePhy& sender, const Frame& frame)
     ++transmissions_;
     if (frame.type == FrameType::kData) ++data_transmissions_;
 
-    for (NodePhy* phy : phys_) {
-        if (phy == &sender) continue;
-        const double d = distance(sender.position(), phy->position());
-        if (d > params_.cs_range_m && d > params_.interference_range_m) continue;
-        const bool in_delivery_range = d <= params_.tx_range_m;
-        const bool lost = in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
+    const auto deliver = [&](NodePhy* phy, bool in_delivery_range, bool sensed, double power_w) {
+        const bool lost =
+            in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
         const bool decodable = in_delivery_range && !lost;
-        const bool sensed = d <= params_.cs_range_m;
-        // Two-ray ground power (all scenario distances sit beyond the
-        // ~86 m crossover, so the d^-4 regime applies; the constant factor
-        // cancels in every capture-SIR comparison). Clamp tiny distances
-        // to keep the power finite for co-located test nodes.
-        const double d_eff = std::max(d, 1.0);
-        const double power_w = 1.0 / (d_eff * d_eff * d_eff * d_eff);
         phy->signal_start(signal_id, frame, decodable, sensed, power_w);
         scheduler_.schedule_in(duration,
                                [phy, signal_id, frame] { phy->signal_end(signal_id, frame); });
+    };
+
+    if (cull_enabled_) {
+        ensure_reach();
+        const auto it = index_by_id_.find(sender.id());
+        if (it == index_by_id_.end())
+            throw std::logic_error("Channel::transmit: sender not attached");
+        for (const ReachEntry& r : reach_[it->second])
+            deliver(r.phy, r.in_delivery, r.sensed, r.power_w);
+    } else {
+        // Reference full-broadcast scan. Identical per-receiver facts and
+        // loss-roll order (attach order, delivery-range receivers only),
+        // so either path produces the same simulation.
+        for (NodePhy* phy : phys_) {
+            if (phy == &sender) continue;
+            const double d = distance(sender.position(), phy->position());
+            if (d > params_.cs_range_m && d > params_.interference_range_m) continue;
+            const double d_eff = std::max(d, 1.0);
+            deliver(phy, d <= params_.tx_range_m, d <= params_.cs_range_m,
+                    1.0 / (d_eff * d_eff * d_eff * d_eff));
+        }
     }
     scheduler_.schedule_in(duration, [&sender, frame] { sender.tx_end(frame); });
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -12,18 +13,30 @@
 
 namespace ezflow::phy {
 
-/// The shared wireless medium. Dispatches every transmission to all nodes
-/// within carrier-sense range, decides decodability per receiver (delivery
-/// range + per-link loss roll) and schedules signal-end events. The channel
-/// never filters by MAC address — everyone in range hears everything, which
-/// is exactly the property EZ-Flow's BOE exploits.
+/// The shared wireless medium. Dispatches every transmission to the nodes
+/// within carrier-sense or interference range, decides decodability per
+/// receiver (delivery range + per-link loss roll) and schedules signal-end
+/// events. The channel never filters by MAC address — everyone in range
+/// hears everything, which is exactly the property EZ-Flow's BOE exploits.
+///
+/// Node positions are fixed for the lifetime of a run (NodePhy has no
+/// position setter), so the per-transmitter reachability set — which
+/// receivers can sense or be interfered by it, with their precomputed
+/// two-ray powers — is static. Transmissions iterate only that culled
+/// neighbour list instead of every attached PHY, in attach order, and the
+/// per-link loss rolls are drawn for exactly the same receivers as the
+/// full broadcast would (out-of-range nodes never drew), so the Rng
+/// stream and all outcomes are identical while per-transmission cost
+/// drops from O(nodes) to O(reachable neighbours).
 class Channel {
 public:
     Channel(sim::Scheduler& scheduler, util::Rng rng, PhyParams params);
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
 
-    /// Register a node's PHY. The PHY must outlive the channel.
+    /// Register a node's PHY (id-indexed duplicate check, O(1)). The PHY
+    /// must outlive the channel and must not move afterwards; reachability
+    /// sets are rebuilt lazily after every attach.
     void attach(NodePhy& phy);
 
     /// Frame-loss probability for the directed link tx -> rx. Models link
@@ -52,6 +65,16 @@ public:
     /// Broadcast a frame from `sender`. Called by NodePhy::start_tx.
     void transmit(NodePhy& sender, const Frame& frame);
 
+    /// Disable (or re-enable) the reachability cull, falling back to the
+    /// full-broadcast scan over every attached PHY. The outcomes are
+    /// identical either way — this exists so tests can prove exactly that.
+    void set_reachability_cull(bool enabled) { cull_enabled_ = enabled; }
+    bool reachability_cull() const { return cull_enabled_; }
+
+    /// Size of `tx`'s reachability set (receivers within carrier-sense or
+    /// interference range). Exposed for tests and benchmarks.
+    std::size_t reachable_count(net::NodeId tx);
+
     const PhyParams& params() const { return params_; }
 
     std::uint64_t transmissions() const { return transmissions_; }
@@ -67,10 +90,25 @@ private:
     /// Current loss probability of the link, evolving any Gilbert state.
     double sample_link_loss(net::NodeId tx, net::NodeId rx);
 
+    /// One receiver a transmitter can affect, with the geometry-derived
+    /// facts transmit() needs, precomputed once per topology.
+    struct ReachEntry {
+        NodePhy* phy;
+        bool in_delivery;  ///< within tx_range: decode + per-link loss roll
+        bool sensed;       ///< within cs_range: counts for energy detection
+        double power_w;    ///< two-ray received power (capture decisions)
+    };
+
+    /// Rebuild the per-transmitter reachability sets when stale.
+    void ensure_reach();
+
     sim::Scheduler& scheduler_;
     util::Rng rng_;
     PhyParams params_;
     std::vector<NodePhy*> phys_;
+    std::unordered_map<net::NodeId, std::size_t> index_by_id_;  ///< attach index per node id
+    std::vector<std::vector<ReachEntry>> reach_;  ///< per transmitter, in attach order
+    bool cull_enabled_ = true;
     std::map<std::pair<net::NodeId, net::NodeId>, double> link_loss_;
     std::map<std::pair<net::NodeId, net::NodeId>, GilbertState> gilbert_;
     std::uint64_t next_signal_id_ = 1;

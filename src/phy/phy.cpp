@@ -19,14 +19,6 @@ const PhyParams& NodePhy::channel_params() const
     return channel_->params();
 }
 
-int NodePhy::sensed_count() const
-{
-    int count = 0;
-    for (const ActiveSignal& s : active_)
-        if (s.sensed) ++count;
-    return count;
-}
-
 double NodePhy::interference_sum(std::uint64_t except_id) const
 {
     double sum = 0.0;
@@ -54,6 +46,7 @@ void NodePhy::signal_start(std::uint64_t signal_id, const Frame& frame, bool dec
 {
     (void)frame;
     active_.push_back(ActiveSignal{signal_id, power_w, sensed});
+    if (sensed) ++sensed_active_;
     const double threshold = channel_params().capture_threshold;
     if (transmitting_) {
         // Cannot hear anything while transmitting.
@@ -81,6 +74,7 @@ void NodePhy::signal_end(std::uint64_t signal_id, const Frame& frame)
     if (it == active_.end()) throw std::logic_error("NodePhy::signal_end: unknown signal");
     const bool was_sensed = it->sensed;
     active_.erase(it);
+    if (was_sensed) --sensed_active_;
 
     const bool completes_rx = rx_active_ && rx_signal_id_ == signal_id;
     bool deliver = false;

@@ -47,7 +47,7 @@ public:
     const PhyParams& channel_params() const;
 
     /// Medium busy for carrier sense: own TX or any sensed energy.
-    bool busy() const { return transmitting_ || sensed_count() > 0; }
+    bool busy() const { return transmitting_ || sensed_active_ > 0; }
     bool transmitting() const { return transmitting_; }
 
     /// Start transmitting `frame`. Throws if a transmission is in progress.
@@ -84,7 +84,6 @@ private:
     };
 
     void update_busy();
-    int sensed_count() const;
     /// Sum of active signal powers excluding `except_id`.
     double interference_sum(std::uint64_t except_id) const;
 
@@ -95,6 +94,7 @@ private:
     PhyListener* listener_ = nullptr;
 
     std::vector<ActiveSignal> active_;  ///< overlapping signals at this node
+    int sensed_active_ = 0;  ///< sensed members of active_ (O(1) carrier sense)
     bool transmitting_ = false;
     bool last_busy_ = false;
 

@@ -110,6 +110,7 @@ struct MacBed {
     phy::PhyParams phy_params;
     MacParams mac_params;
     phy::Channel channel;
+    ContentionCoordinator coordinator{scheduler};
     std::vector<std::unique_ptr<phy::NodePhy>> phys;
     std::vector<std::unique_ptr<DcfMac>> macs;
     std::vector<std::unique_ptr<class Recorder>> recorders;
@@ -142,8 +143,8 @@ DcfMac& MacBed::add(double x, double y)
     const auto id = static_cast<net::NodeId>(phys.size());
     phys.push_back(std::make_unique<phy::NodePhy>(id, phy::Position{x, y}, scheduler));
     channel.attach(*phys.back());
-    macs.push_back(
-        std::make_unique<DcfMac>(*phys.back(), scheduler, util::Rng(1000 + id), mac_params));
+    macs.push_back(std::make_unique<DcfMac>(*phys.back(), scheduler, coordinator,
+                                            util::Rng(1000 + id), mac_params));
     recorders.push_back(std::make_unique<Recorder>());
     macs.back()->set_callbacks(recorders.back().get());
     return *macs.back();

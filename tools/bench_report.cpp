@@ -1,0 +1,200 @@
+// bench_report: run google-benchmark binaries and merge their JSON output
+// into one machine-readable perf report (the committed BENCH_<n>.json
+// trajectory files and the CI perf-smoke artifact).
+//
+//   bench_report --out=BENCH.json [--label=STR] [--baseline=FILE]
+//                [--extra=FILE] <bench-bin>...
+//
+// Each benchmark binary is executed with --benchmark_out (JSON); the
+// per-benchmark records (times, items/s, user counters) are collected
+// under "benchmarks". With --baseline, the baseline report's benchmarks
+// are embedded under "baseline" and matching names gain an "improvement"
+// entry with the items/s ratio (after / before) — that is how a report
+// documents a speedup against a pinned earlier measurement. --extra
+// merges the top-level members of a JSON file into the report (e.g.
+// externally timed end-to-end wall times).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/json.h"
+
+namespace {
+
+using ezflow::util::Json;
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string base_name(const std::string& path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// One benchmark record from google-benchmark's JSON: keep the name and
+/// timing fields, and gather every other numeric member (user counters
+/// like events_per_s) under "counters".
+Json condense_benchmark(const Json& bench, const std::string& binary)
+{
+    static const std::set<std::string> timing = {"real_time", "cpu_time", "iterations",
+                                                 "items_per_second"};
+    Json out = Json::object();
+    const Json* name = bench.find("name");
+    out.set("name", name != nullptr ? name->as_string() : "?");
+    out.set("binary", binary);
+    for (const auto& [key, value] : bench.members()) {
+        if (timing.count(key) != 0 && value.is_number()) out.set(key, value);
+        if (key == "time_unit" && value.is_string()) out.set(key, value);
+    }
+    Json counters = Json::object();
+    for (const auto& [key, value] : bench.members()) {
+        if (!value.is_number() || timing.count(key) != 0) continue;
+        if (key == "family_index" || key == "per_family_instance_index" ||
+            key == "repetitions" || key == "repetition_index" || key == "threads")
+            continue;
+        counters.set(key, value);
+    }
+    if (counters.size() > 0) out.set("counters", counters);
+    return out;
+}
+
+const Json* find_benchmark(const Json& report, const std::string& name)
+{
+    const Json* benchmarks = report.find("benchmarks");
+    if (benchmarks == nullptr || !benchmarks->is_array()) return nullptr;
+    for (const Json& bench : benchmarks->elements()) {
+        const Json* bench_name = bench.find("name");
+        if (bench_name != nullptr && bench_name->is_string() && bench_name->as_string() == name)
+            return &bench;
+    }
+    return nullptr;
+}
+
+double number_or(const Json* value, double fallback)
+{
+    return value != nullptr && value->is_number() ? value->as_number() : fallback;
+}
+
+int run_report(const ezflow::util::Cli& cli)
+{
+    const std::string out_path = cli.get("out", "");
+    if (out_path.empty() || cli.positional().empty()) {
+        std::fprintf(stderr,
+                     "usage: bench_report --out=FILE [--label=STR] [--baseline=FILE] "
+                     "<bench-binary> [...]\n");
+        return 2;
+    }
+
+    Json report = Json::object();
+    report.set("schema", "ezflow-bench-report-v1");
+    const std::string label = cli.get("label", "");
+    if (!label.empty()) report.set("label", label);
+
+    Json benchmarks = Json::array();
+    bool context_written = false;
+    Json context = Json::object();
+    for (std::size_t i = 0; i < cli.positional().size(); ++i) {
+        const std::string& binary = cli.positional()[i];
+        const std::string raw_path = out_path + ".raw" + std::to_string(i) + ".json";
+        const std::string command = "\"" + binary + "\" --benchmark_out=\"" + raw_path +
+                                    "\" --benchmark_out_format=json";
+        std::fprintf(stderr, "[bench_report] %s\n", command.c_str());
+        if (std::system(command.c_str()) != 0) {
+            std::fprintf(stderr, "bench_report: '%s' failed\n", binary.c_str());
+            return 1;
+        }
+        const Json raw = Json::parse(read_file(raw_path));
+        std::remove(raw_path.c_str());
+        if (!context_written) {
+            const Json* raw_context = raw.find("context");
+            if (raw_context != nullptr) {
+                for (const char* key : {"date", "num_cpus", "mhz_per_cpu", "library_build_type"}) {
+                    const Json* value = raw_context->find(key);
+                    if (value != nullptr) context.set(key, *value);
+                }
+                context_written = true;
+            }
+        }
+        const Json* raw_benchmarks = raw.find("benchmarks");
+        if (raw_benchmarks == nullptr || !raw_benchmarks->is_array()) {
+            std::fprintf(stderr, "bench_report: no benchmarks in %s output\n", binary.c_str());
+            return 1;
+        }
+        for (const Json& bench : raw_benchmarks->elements())
+            benchmarks.push_back(condense_benchmark(bench, base_name(binary)));
+    }
+    report.set("context", context);
+    report.set("benchmarks", benchmarks);
+
+    const std::string extra_path = cli.get("extra", "");
+    if (!extra_path.empty()) {
+        const Json extra = Json::parse(read_file(extra_path));
+        for (const auto& [key, value] : extra.members()) report.set(key, value);
+    }
+
+    const std::string baseline_path = cli.get("baseline", "");
+    if (!baseline_path.empty()) {
+        const Json baseline = Json::parse(read_file(baseline_path));
+        report.set("baseline", baseline);
+        Json improvement = Json::object();
+        for (const Json& bench : benchmarks.elements()) {
+            const std::string& name = bench.find("name")->as_string();
+            const Json* before = find_benchmark(baseline, name);
+            if (before == nullptr) continue;
+            Json entry = Json::object();
+            const double items_before = number_or(before->find("items_per_second"), 0.0);
+            const double items_after = number_or(bench.find("items_per_second"), 0.0);
+            if (items_before > 0.0 && items_after > 0.0)
+                entry.set("items_per_second_ratio", items_after / items_before);
+            // Fewer scheduler events for the same simulated work is the
+            // point of the event-collapse refactor: report the shrink.
+            const Json* counters_before = before->find("counters");
+            const Json* counters_after = bench.find("counters");
+            if (counters_before != nullptr && counters_after != nullptr) {
+                const double events_before = number_or(counters_before->find("events"), 0.0);
+                const double events_after = number_or(counters_after->find("events"), 0.0);
+                if (events_before > 0.0 && events_after > 0.0)
+                    entry.set("events_shrink", events_before / events_after);
+            }
+            if (entry.size() > 0) improvement.set(name, entry);
+        }
+        report.set("improvement", improvement);
+    }
+
+    std::ofstream out(out_path, std::ios::binary);
+    out << report.dump() << "\n";
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "bench_report: failed to write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("[bench_report] wrote %s (%zu benchmarks)\n", out_path.c_str(),
+                benchmarks.size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        return run_report(ezflow::util::Cli(argc, argv));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_report: %s\n", e.what());
+        return 1;
+    }
+}
