@@ -16,6 +16,7 @@
 #include "mac/mac_queue.h"
 #include "model/walk.h"
 #include "net/packet.h"
+#include "net/routing.h"
 #include "net/topologies.h"
 #include "phy/channel.h"
 #include "sim/scheduler.h"
@@ -98,6 +99,32 @@ void BM_ModelStep(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelStep)->Arg(4)->Arg(8);
+
+void BM_RoutingLookup(benchmark::State& state)
+{
+    // Per-forwarded-packet routing cost at 1k flows x 64-hop paths:
+    // Arg(0) scans the map-based StaticRouting builder (O(log flows) +
+    // O(hops), the pre-PR-4 hot path), Arg(1) probes the compiled
+    // RoutingTable the forwarding plane now uses (O(1)).
+    const bool compiled = state.range(0) != 0;
+    constexpr int kFlows = 1000;
+    constexpr int kHops = 64;
+    net::StaticRouting routing;
+    std::vector<net::NodeId> path;
+    for (int n = 0; n <= kHops; ++n) path.push_back(n);
+    for (int f = 0; f < kFlows; ++f) routing.add_flow(f, path);
+    const net::RoutingTable table(routing);
+    int flow = 0;
+    net::NodeId node = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compiled ? table.next_hop(flow, node)
+                                          : routing.next_hop(flow, node));
+        flow = (flow + 7) % kFlows;
+        node = (node + 13) % kHops;  // stays short of the destination
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingLookup)->Arg(0)->Arg(1);
 
 net::Packet bench_packet(std::uint64_t seq)
 {

@@ -42,6 +42,40 @@ ScenarioSpec ScenarioSpec::scenario2(double time_scale)
     return spec;
 }
 
+ScenarioSpec ScenarioSpec::grid_cross(const net::GridSpec& grid)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kGridCross;
+    spec.grid = grid;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::grid_gateway(const net::GridSpec& grid)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kGridGateway;
+    spec.grid = grid;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::parking_lot(int hops, int flows, double duration_s)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kParkingLot;
+    spec.lot_hops = hops;
+    spec.lot_flows = flows;
+    spec.lot_duration_s = duration_s;
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::random_mesh(const net::MeshSpec& mesh)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kMesh;
+    spec.mesh = mesh;
+    return spec;
+}
+
 std::string scenario_name(const ScenarioSpec& spec)
 {
     std::ostringstream out;
@@ -50,6 +84,20 @@ std::string scenario_name(const ScenarioSpec& spec)
         case ScenarioSpec::Kind::kTestbed: out << "testbed"; break;
         case ScenarioSpec::Kind::kScenario1: out << "scenario1 x" << spec.time_scale; break;
         case ScenarioSpec::Kind::kScenario2: out << "scenario2 x" << spec.time_scale; break;
+        case ScenarioSpec::Kind::kGridCross:
+            out << "grid-" << spec.grid.cols << "x" << spec.grid.rows << "-f"
+                << spec.grid.cross_flows;
+            break;
+        case ScenarioSpec::Kind::kGridGateway:
+            out << "grid-" << spec.grid.cols << "x" << spec.grid.rows << "-gw"
+                << spec.grid.sources;
+            break;
+        case ScenarioSpec::Kind::kParkingLot:
+            out << "lot-" << spec.lot_hops << "hop-f" << spec.lot_flows;
+            break;
+        case ScenarioSpec::Kind::kMesh:
+            out << "mesh-" << spec.mesh.nodes << "n-f" << spec.mesh.flows;
+            break;
     }
     return out.str();
 }
@@ -66,6 +114,15 @@ net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
             return net::make_scenario1(spec.time_scale, seed);
         case ScenarioSpec::Kind::kScenario2:
             return net::make_scenario2(spec.time_scale, seed);
+        case ScenarioSpec::Kind::kGridCross:
+            return net::make_grid_cross(spec.grid, seed);
+        case ScenarioSpec::Kind::kGridGateway:
+            return net::make_grid_convergecast(spec.grid, seed);
+        case ScenarioSpec::Kind::kParkingLot:
+            return net::make_parking_lot_chain(spec.lot_hops, spec.lot_flows, spec.lot_start_s,
+                                               spec.lot_duration_s, seed);
+        case ScenarioSpec::Kind::kMesh:
+            return net::make_random_mesh(spec.mesh, seed);
     }
     throw std::logic_error("build_scenario: unknown scenario kind");
 }

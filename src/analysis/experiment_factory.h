@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/experiment.h"
+#include "net/topo_gen.h"
 #include "net/topologies.h"
 
 namespace ezflow::analysis {
@@ -15,10 +16,14 @@ namespace ezflow::analysis {
 /// seeds, modes, and threads.
 struct ScenarioSpec {
     enum class Kind {
-        kLine,       ///< K-hop chain (Fig. 1 family)
-        kTestbed,    ///< 9-router testbed of Fig. 3 (Table 1/2, Fig. 4)
-        kScenario1,  ///< two 8-hop flows merging at a gateway (Figs. 6-8)
-        kScenario2,  ///< three crossing flows, hidden sources (Figs. 9-11)
+        kLine,        ///< K-hop chain (Fig. 1 family)
+        kTestbed,     ///< 9-router testbed of Fig. 3 (Table 1/2, Fig. 4)
+        kScenario1,   ///< two 8-hop flows merging at a gateway (Figs. 6-8)
+        kScenario2,   ///< three crossing flows, hidden sources (Figs. 9-11)
+        kGridCross,   ///< N x M lattice with crossing row/column flows
+        kGridGateway, ///< N x M lattice, edge sources converging on node 0
+        kParkingLot,  ///< arbitrary-length chain, staggered entry flows
+        kMesh,        ///< seeded random mesh, shortest-path flows
     };
 
     Kind kind = Kind::kScenario1;
@@ -37,11 +42,27 @@ struct ScenarioSpec {
     double testbed_f2_start_s = 5.0;
     double testbed_f2_stop_s = 65.0;
 
+    // kGridCross / kGridGateway knobs (generated lattices, net/topo_gen.h).
+    net::GridSpec grid;
+
+    // kParkingLot knobs.
+    int lot_hops = 8;
+    int lot_flows = 3;
+    double lot_start_s = 5.0;
+    double lot_duration_s = 60.0;
+
+    // kMesh knobs.
+    net::MeshSpec mesh;
+
     static ScenarioSpec line(int hops, double duration_s);
     static ScenarioSpec testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
                                 double f2_stop_s);
     static ScenarioSpec scenario1(double time_scale);
     static ScenarioSpec scenario2(double time_scale);
+    static ScenarioSpec grid_cross(const net::GridSpec& grid);
+    static ScenarioSpec grid_gateway(const net::GridSpec& grid);
+    static ScenarioSpec parking_lot(int hops, int flows, double duration_s);
+    static ScenarioSpec random_mesh(const net::MeshSpec& mesh);
 };
 
 std::string scenario_name(const ScenarioSpec& spec);

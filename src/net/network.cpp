@@ -16,7 +16,7 @@ NodeId Network::add_node(phy::Position position)
 {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(std::make_unique<Node>(id, position, scheduler_, contention_, rng_.fork(),
-                                            config_.mac, routing_));
+                                            config_.mac, routing_table_));
     channel_.attach(nodes_.back()->phy());
     return id;
 }

@@ -44,6 +44,10 @@ public:
     mac::ContentionCoordinator& contention() { return contention_; }
     StaticRouting& routing() { return routing_; }
     const StaticRouting& routing() const { return routing_; }
+    /// The compiled O(1) forwarding table over routing(); what every
+    /// node's per-packet forwarding consults (it tracks the builder
+    /// automatically, so flows may still be added after nodes).
+    const RoutingTable& routing_table() const { return routing_table_; }
     const Config& config() const { return config_; }
 
     /// Fork an independent RNG stream from the network's root seed
@@ -61,6 +65,7 @@ private:
     phy::Channel channel_;
     mac::ContentionCoordinator contention_;  ///< shared by every node's MAC
     StaticRouting routing_;
+    RoutingTable routing_table_{routing_};
     std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -6,7 +6,7 @@ namespace ezflow::net {
 
 Node::Node(NodeId id, phy::Position position, sim::Scheduler& scheduler,
            mac::ContentionCoordinator& coordinator, util::Rng rng, const mac::MacParams& mac_params,
-           const StaticRouting& routing)
+           const RoutingTable& routing)
     : id_(id),
       phy_(id, position, scheduler),
       mac_(phy_, scheduler, coordinator, std::move(rng), mac_params),
@@ -41,11 +41,11 @@ void Node::mac_rx(const phy::Frame& frame)
         for (const auto& handler : delivery_) handler(packet);
         return;
     }
-    if (!routing_.has_next_hop(packet.flow_id, id_)) {
+    const NodeId next = routing_.next_hop_or_none(packet.flow_id, id_);
+    if (next == RoutingTable::kNoNextHop) {
         // Mis-routed packet (should not happen with static routing).
         throw std::logic_error("Node::mac_rx: no route for forwarded packet");
     }
-    const NodeId next = routing_.next_hop(packet.flow_id, id_);
     ++forwarded_;
     const mac::QueueKey key{next, /*own_traffic=*/false};
     if (interceptor_ && interceptor_(key, packet)) return;

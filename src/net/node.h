@@ -30,7 +30,7 @@ public:
 
     Node(NodeId id, phy::Position position, sim::Scheduler& scheduler,
          mac::ContentionCoordinator& coordinator, util::Rng rng, const mac::MacParams& mac_params,
-         const StaticRouting& routing);
+         const RoutingTable& routing);
 
     NodeId id() const { return id_; }
     phy::NodePhy& phy() { return phy_; }
@@ -77,7 +77,7 @@ private:
     NodeId id_;
     phy::NodePhy phy_;
     mac::DcfMac mac_;
-    const StaticRouting& routing_;
+    const RoutingTable& routing_;
 
     std::vector<DeliveryHandler> delivery_;
     std::vector<SniffHandler> sniffers_;

@@ -1,5 +1,6 @@
 #include "net/routing.h"
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -8,12 +9,17 @@ namespace ezflow::net {
 void StaticRouting::add_flow(int flow_id, std::vector<NodeId> path)
 {
     if (path.size() < 2) throw std::invalid_argument("StaticRouting::add_flow: path too short");
+    for (NodeId n : path) {
+        if (n < -kMaxNodeId || n > kMaxNodeId)
+            throw std::invalid_argument("StaticRouting::add_flow: node id out of range");
+    }
     std::set<NodeId> seen(path.begin(), path.end());
     if (seen.size() != path.size())
         throw std::invalid_argument("StaticRouting::add_flow: path revisits a node");
     if (paths_.count(flow_id) > 0)
         throw std::invalid_argument("StaticRouting::add_flow: duplicate flow id");
     paths_[flow_id] = std::move(path);
+    ++version_;
 }
 
 NodeId StaticRouting::next_hop(int flow_id, NodeId node) const
@@ -48,6 +54,116 @@ std::vector<int> StaticRouting::flow_ids() const
     ids.reserve(paths_.size());
     for (const auto& [id, _] : paths_) ids.push_back(id);
     return ids;
+}
+
+void RoutingTable::compile() const
+{
+    const std::vector<int> ids = builder_->flow_ids();
+    rows_ = static_cast<std::int32_t>(ids.size());
+    // The builder accepts any NodeId values (Network validates ids
+    // separately), so the dense node axis covers [node_base_, node_base_
+    // + node_stride_) of the ids actually used — negative included.
+    node_base_ = 0;
+    NodeId node_max = -1;
+    bool first = true;
+    for (int id : ids) {
+        for (NodeId n : builder_->path(id)) {
+            node_base_ = first ? n : std::min(node_base_, n);
+            node_max = first ? n : std::max(node_max, n);
+            first = false;
+        }
+    }
+    node_stride_ = first ? 0 : node_max - node_base_ + 1;
+
+    slot_of_flow_.clear();
+    sparse_flows_.clear();
+    flow_slots_ = 0;
+    if (!ids.empty()) {
+        flow_min_ = ids.front();  // flow_ids() is ascending
+        const std::int64_t range = static_cast<std::int64_t>(ids.back()) - flow_min_ + 1;
+        // A dense id index only pays when ids are reasonably packed;
+        // otherwise fall back to binary search over the sorted pairs.
+        if (range <= 64 + 16 * static_cast<std::int64_t>(ids.size())) {
+            flow_slots_ = range;
+            slot_of_flow_.assign(static_cast<std::size_t>(range), -1);
+        }
+        for (std::int32_t row = 0; row < rows_; ++row) {
+            if (flow_slots_ > 0)
+                slot_of_flow_[static_cast<std::size_t>(ids[static_cast<std::size_t>(row)] -
+                                                       flow_min_)] = row;
+            else
+                sparse_flows_.emplace_back(ids[static_cast<std::size_t>(row)], row);
+        }
+    }
+
+    next_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(node_stride_),
+                 kNoNextHop);
+    for (std::int32_t row = 0; row < rows_; ++row) {
+        const auto& p = builder_->path(ids[static_cast<std::size_t>(row)]);
+        NodeId* base = next_.data() + static_cast<std::size_t>(row) *
+                                          static_cast<std::size_t>(node_stride_);
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) base[p[i] - node_base_] = p[i + 1];
+    }
+    compiled_version_ = builder_->version();
+}
+
+std::int64_t RoutingTable::flow_row(int flow_id) const
+{
+    if (flow_slots_ > 0) {
+        const std::int64_t slot = static_cast<std::int64_t>(flow_id) - flow_min_;
+        if (slot < 0 || slot >= flow_slots_) return -1;
+        return slot_of_flow_[static_cast<std::size_t>(slot)];
+    }
+    const auto it = std::lower_bound(
+        sparse_flows_.begin(), sparse_flows_.end(), flow_id,
+        [](const std::pair<int, std::int32_t>& entry, int id) { return entry.first < id; });
+    if (it == sparse_flows_.end() || it->first != flow_id) return -1;
+    return it->second;
+}
+
+NodeId RoutingTable::next_hop_or_none(int flow_id, NodeId node) const
+{
+    ensure_fresh();
+    const std::int64_t row = flow_row(flow_id);
+    // 64-bit slot arithmetic: callers may probe any int node id, and
+    // node - node_base_ would be signed-overflow UB at the extremes.
+    const std::int64_t slot = static_cast<std::int64_t>(node) - node_base_;
+    if (row < 0 || slot < 0 || slot >= node_stride_) return kNoNextHop;
+    return next_[static_cast<std::size_t>(row) * static_cast<std::size_t>(node_stride_) +
+                 static_cast<std::size_t>(slot)];
+}
+
+NodeId RoutingTable::next_hop(int flow_id, NodeId node) const
+{
+    ensure_fresh();
+    const std::int64_t row = flow_row(flow_id);
+    if (row < 0) throw std::invalid_argument("StaticRouting: unknown flow");
+    const std::int64_t slot = static_cast<std::int64_t>(node) - node_base_;
+    if (slot < 0 || slot >= node_stride_)
+        throw std::invalid_argument("StaticRouting::next_hop: node has no next hop on this flow");
+    const NodeId next = next_[static_cast<std::size_t>(row) *
+                                  static_cast<std::size_t>(node_stride_) +
+                              static_cast<std::size_t>(slot)];
+    if (next == kNoNextHop)
+        throw std::invalid_argument("StaticRouting::next_hop: node has no next hop on this flow");
+    return next;
+}
+
+bool RoutingTable::has_next_hop(int flow_id, NodeId node) const
+{
+    return next_hop_or_none(flow_id, node) != kNoNextHop;
+}
+
+int RoutingTable::flow_count() const
+{
+    ensure_fresh();
+    return rows_;
+}
+
+NodeId RoutingTable::node_stride() const
+{
+    ensure_fresh();
+    return node_stride_;
 }
 
 }  // namespace ezflow::net

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -11,9 +13,23 @@ namespace ezflow::net {
 /// simulations use ("we set the routing to be static", Section 4.1; NOAH
 /// agent, Section 5.1). Each flow is a fixed node path; a node's next hop
 /// for a flow is the node after it on that path.
+///
+/// This class is the *builder* and reference implementation: add_flow
+/// validates paths, path()/flow_ids() serve setup-time consumers (traffic
+/// sources, agents, tracers), and next_hop()/has_next_hop() answer by
+/// scanning the stored path. The per-packet forwarding plane does not use
+/// the scan — it goes through the compiled RoutingTable below, which is
+/// rebuilt from this builder and must answer identically.
 class StaticRouting {
 public:
-    /// Register a flow's path (>= 2 distinct nodes, no repeats).
+    /// Node ids a path may use: any value in [-kMaxNodeId, kMaxNodeId].
+    /// Network only ever produces dense ids from 0, but the builder is
+    /// usable standalone; the bound (|id| <= 2^26) keeps the compiled
+    /// table's dense node axis free of overflow and of sentinel
+    /// collisions for every path the builder can accept.
+    static constexpr NodeId kMaxNodeId = 1 << 26;
+
+    /// Register a flow's path (>= 2 distinct in-range nodes, no repeats).
     void add_flow(int flow_id, std::vector<NodeId> path);
 
     /// Next hop of `node` for `flow_id`. Throws for unknown flows or for
@@ -28,8 +44,75 @@ public:
     /// All registered flow ids, ascending.
     std::vector<int> flow_ids() const;
 
+    /// Bumped on every successful add_flow; lets compiled tables detect
+    /// staleness with one integer compare per lookup.
+    std::uint64_t version() const { return version_; }
+
 private:
     std::map<int, std::vector<NodeId>> paths_;
+    std::uint64_t version_ = 0;
+};
+
+/// Compiled forwarding table: dense [flow][node] -> next_hop arrays built
+/// once from a StaticRouting builder, O(1) per forwarded packet (the
+/// builder's scan is O(hops) and was the per-packet hot path on large
+/// topologies). Lookups lazily recompile when the builder has grown, so
+/// flows may be added in any order relative to traffic setup; answers and
+/// error behaviour are identical to the builder's by construction (and
+/// pinned by tests/routing_table_test.cpp).
+class RoutingTable {
+public:
+    explicit RoutingTable(const StaticRouting& builder) : builder_(&builder) {}
+
+    /// Next hop of `node` for `flow_id`; same contract as
+    /// StaticRouting::next_hop (throws std::invalid_argument for unknown
+    /// flows and for nodes without a successor on the path).
+    NodeId next_hop(int flow_id, NodeId node) const;
+
+    /// Same contract as StaticRouting::has_next_hop.
+    bool has_next_hop(int flow_id, NodeId node) const;
+
+    /// Next hop, or kNoNextHop when the flow is unknown or the node has
+    /// no successor — one probe for callers that would otherwise pair
+    /// has_next_hop with next_hop. The sentinel sits at INT_MIN, outside
+    /// the [-kMaxNodeId, kMaxNodeId] domain add_flow enforces, so it can
+    /// never shadow a real next hop (and the bounded domain keeps
+    /// node_stride_ arithmetic overflow-free).
+    static constexpr NodeId kNoNextHop = std::numeric_limits<NodeId>::min();
+    NodeId next_hop_or_none(int flow_id, NodeId node) const;
+
+    /// Compiled dimensions (testing/introspection; compile on demand).
+    int flow_count() const;
+    NodeId node_stride() const;
+
+private:
+    void compile() const;
+    void ensure_fresh() const
+    {
+        if (compiled_version_ != builder_->version()) compile();
+    }
+    /// Row base offset of a flow in next_, or -1 when unknown.
+    std::int64_t flow_row(int flow_id) const;
+
+    const StaticRouting* builder_;
+    mutable std::uint64_t compiled_version_ = ~std::uint64_t{0};
+    /// Dense flow-id index over [flow_min_, flow_min_ + flow_slots_):
+    /// slot_of_flow_[id - flow_min_] is the row, or -1. When flow ids are
+    /// too sparse for a dense index (range much larger than count), the
+    /// sorted (id, row) pairs in sparse_flows_ are binary-searched
+    /// instead — O(log flows), flows are few when ids are wild.
+    mutable int flow_min_ = 0;
+    mutable std::int64_t flow_slots_ = 0;
+    mutable std::vector<std::int32_t> slot_of_flow_;
+    mutable std::vector<std::pair<int, std::int32_t>> sparse_flows_;
+    /// Row-major [row * node_stride_ + (node - node_base_)] -> next hop
+    /// or kNoNextHop. The base offset lets the dense axis cover whatever
+    /// NodeId range the builder's paths actually use (the builder does
+    /// not constrain ids; Network validates them separately).
+    mutable std::vector<NodeId> next_;
+    mutable NodeId node_base_ = 0;
+    mutable NodeId node_stride_ = 0;
+    mutable std::int32_t rows_ = 0;
 };
 
 }  // namespace ezflow::net

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topologies.h"
+
+namespace ezflow::net {
+
+/// Pure link-graph view of a planned deployment: node positions plus the
+/// undirected delivery-range adjacency, computable before (and without)
+/// building a Network. The generators below plan on a Topology — flow
+/// routing is shortest-path over these links — and only then instantiate
+/// nodes and flows, so the planning layer is cheap enough to reject and
+/// retry whole layouts (random meshes) and to cross-check in tests.
+struct Topology {
+    std::vector<phy::Position> positions;
+    /// Two nodes are linked when within this range (the PHY delivery
+    /// range; consecutive flow hops must respect it).
+    double link_range_m = 250.0;
+    /// Per-node sorted neighbour lists under link_range_m.
+    std::vector<std::vector<NodeId>> neighbours;
+
+    int node_count() const { return static_cast<int>(positions.size()); }
+    bool has_link(NodeId a, NodeId b) const;
+};
+
+/// Rebuild the adjacency lists from positions and link_range_m.
+void rebuild_links(Topology& topo);
+
+/// cols x rows lattice at `spacing_m`; node id = row * cols + col
+/// (row-major). With 200 m spacing under the default ns-2 ranges,
+/// axis-aligned neighbours are 1-hop links and diagonals (283 m) are not.
+Topology make_grid_topology(int cols, int rows, double spacing_m);
+
+/// `nodes` positions drawn uniformly over [0,width] x [0,height] from the
+/// seed, resampled (deterministically) until the delivery graph is
+/// connected. Throws std::runtime_error when no connected layout is found
+/// within the attempt budget (area too large for the node count).
+Topology make_random_topology(int nodes, double width_m, double height_m, double link_range_m,
+                              std::uint64_t seed);
+
+/// Whether every node can reach every other over delivery-range links.
+bool is_connected(const Topology& topo);
+
+/// A shortest src -> dst path over the delivery links (BFS hop metric),
+/// deterministic under ties: among equal-length options it follows the
+/// smallest-id neighbour at every step. Empty when unreachable or
+/// src == dst.
+std::vector<NodeId> shortest_path(const Topology& topo, NodeId src, NodeId dst);
+
+/// Parameters shared by the grid scenario builders. Ranges <= 0 keep the
+/// defaults of default_config (250 m delivery / 550 m carrier sense and
+/// interference, the ns-2 regime of the paper's simulations).
+struct GridSpec {
+    int cols = 5;
+    int rows = 5;
+    double spacing_m = 200.0;
+    double tx_range_m = 0.0;
+    double cs_range_m = 0.0;
+    double interference_range_m = 0.0;
+    /// make_grid_cross: straight row/column flows, alternating horizontal
+    /// and vertical, spread across the lattice (the Chan/Liew/Chan
+    /// arXiv:0704.0528 cross-traffic workload).
+    int cross_flows = 4;
+    /// make_grid_convergecast: edge sources routed to the gateway.
+    int sources = 4;
+    double start_s = 5.0;
+    double duration_s = 60.0;
+};
+
+/// Cross-traffic grid: flow i (ids 1..cross_flows) runs straight along a
+/// row (even i-1) or column (odd i-1), rows/columns spread evenly,
+/// direction alternating per flow so sources sit on all four sides.
+Scenario make_grid_cross(const GridSpec& spec, std::uint64_t seed);
+
+/// Convergecast grid: `sources` nodes spread along the far row and far
+/// column all route (shortest-path) to the gateway at node 0 — the
+/// backhaul pattern of mesh access networks (flow ids 1..sources).
+Scenario make_grid_convergecast(const GridSpec& spec, std::uint64_t seed);
+
+/// Parking-lot chain of arbitrary length: a `hops`-hop chain whose flow 1
+/// spans the whole chain and flows 2..flows enter at evenly spread
+/// intermediate nodes, all toward the gateway at the far end (the Leith
+/// et al. arXiv:1002.1581 max-min workload family). All flows are active
+/// over [start_s, start_s + duration_s). Requires 1 <= flows <= hops.
+Scenario make_parking_lot_chain(int hops, int flows, double start_s, double duration_s,
+                                std::uint64_t seed);
+
+/// Parameters for seeded random-mesh scenarios.
+struct MeshSpec {
+    int nodes = 24;
+    int flows = 4;
+    double width_m = 1400.0;
+    double height_m = 1400.0;
+    /// Layout seed; 0 derives it from the run seed, so every seed of a
+    /// sweep exercises a different (but reproducible) mesh.
+    std::uint64_t topo_seed = 0;
+    double start_s = 5.0;
+    double duration_s = 60.0;
+};
+
+/// Seeded random mesh: a connected uniform scatter plus `flows` random
+/// multi-hop flows (ids 1..flows) routed shortest-path. Deterministic in
+/// (spec, seed).
+Scenario make_random_mesh(const MeshSpec& spec, std::uint64_t seed);
+
+}  // namespace ezflow::net

@@ -13,7 +13,9 @@
 
 #include "analysis/experiment.h"
 #include "analysis/experiment_factory.h"
+#include "experiment_fingerprint.h"
 #include "net/network.h"
+#include "net/topo_gen.h"
 #include "net/topologies.h"
 #include "phy/channel.h"
 #include "phy/phy.h"
@@ -26,28 +28,7 @@ namespace {
 
 // ------------------------------------------------ full-run equivalence
 
-/// Everything observable about one finished run, summarized per node.
-std::vector<std::uint64_t> fingerprint(analysis::Experiment& experiment)
-{
-    net::Network& network = experiment.network();
-    std::vector<std::uint64_t> print;
-    print.push_back(network.channel().transmissions());
-    print.push_back(network.channel().data_transmissions());
-    print.push_back(network.scheduler().processed());
-    for (int id = 0; id < network.node_count(); ++id) {
-        const net::Node& node = network.node(id);
-        print.push_back(node.phy().frames_decoded());
-        print.push_back(node.phy().frames_corrupted());
-        print.push_back(node.phy().frames_missed_busy());
-        print.push_back(node.mac().data_attempts());
-        print.push_back(node.mac().retransmissions());
-        print.push_back(node.mac().successes());
-        print.push_back(node.mac().acks_sent());
-        print.push_back(node.delivered());
-        print.push_back(node.forwarded());
-    }
-    return print;
-}
+using testutil::experiment_fingerprint;
 
 std::vector<std::uint64_t> run_scenario(const analysis::ScenarioSpec& spec, bool cull)
 {
@@ -55,7 +36,7 @@ std::vector<std::uint64_t> run_scenario(const analysis::ScenarioSpec& spec, bool
     std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/11);
     experiment->network().channel().set_reachability_cull(cull);
     experiment->run();
-    return fingerprint(*experiment);
+    return experiment_fingerprint(*experiment);
 }
 
 TEST(ChannelCull, ChainRunMatchesFullBroadcast)
@@ -71,6 +52,43 @@ TEST(ChannelCull, ParkingLotRunMatchesFullBroadcast)
     // joining toward the gateway.
     const analysis::ScenarioSpec spec = analysis::ScenarioSpec::scenario1(/*time_scale=*/0.01);
     EXPECT_EQ(run_scenario(spec, true), run_scenario(spec, false));
+}
+
+TEST(ChannelCull, GeneratedGridGatewayMatchesFullBroadcast)
+{
+    // Generated convergecast lattice (net/topo_gen.h): every flow funnels
+    // into one corner, so the gateway neighbourhood is the dense case the
+    // cull must get exactly right.
+    net::GridSpec grid;
+    grid.cols = 5;
+    grid.rows = 4;
+    grid.sources = 5;
+    grid.duration_s = 4.0;
+    const analysis::ScenarioSpec spec = analysis::ScenarioSpec::grid_gateway(grid);
+    EXPECT_EQ(run_scenario(spec, true), run_scenario(spec, false));
+}
+
+TEST(ChannelCull, GeneratedRandomMeshMatchesFullBroadcast)
+{
+    // Seeded random scatters: irregular reachability sets, including
+    // asymmetric hidden-terminal geometry no hand-built scenario covers.
+    net::MeshSpec mesh;
+    mesh.nodes = 18;
+    mesh.flows = 4;
+    mesh.width_m = 1100.0;
+    mesh.height_m = 1100.0;
+    mesh.duration_s = 4.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        analysis::ExperimentFactory factory(analysis::ScenarioSpec::random_mesh(mesh),
+                                            analysis::ExperimentOptions{});
+        const auto run_with_cull = [&factory, seed](bool cull) {
+            std::unique_ptr<analysis::Experiment> experiment = factory.make(seed);
+            experiment->network().channel().set_reachability_cull(cull);
+            experiment->run();
+            return experiment_fingerprint(*experiment);
+        };
+        EXPECT_EQ(run_with_cull(true), run_with_cull(false)) << "seed " << seed;
+    }
 }
 
 TEST(ChannelCull, GridRunMatchesFullBroadcast)

@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared per-node run fingerprint for equivalence tests: every counter
+// that can observably differ when two channel/MAC fast paths diverge.
+// channel_cull_test.cpp and grid_test.cpp both compare runs with this,
+// so the two suites enforce one notion of equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "net/network.h"
+
+namespace ezflow::testutil {
+
+inline std::vector<std::uint64_t> experiment_fingerprint(analysis::Experiment& experiment)
+{
+    net::Network& network = experiment.network();
+    std::vector<std::uint64_t> print;
+    print.push_back(network.channel().transmissions());
+    print.push_back(network.channel().data_transmissions());
+    print.push_back(network.scheduler().processed());
+    for (int id = 0; id < network.node_count(); ++id) {
+        const net::Node& node = network.node(id);
+        print.push_back(node.phy().frames_decoded());
+        print.push_back(node.phy().frames_corrupted());
+        print.push_back(node.phy().frames_missed_busy());
+        print.push_back(node.mac().data_attempts());
+        print.push_back(node.mac().retransmissions());
+        print.push_back(node.mac().successes());
+        print.push_back(node.mac().acks_sent());
+        print.push_back(node.delivered());
+        print.push_back(node.forwarded());
+    }
+    return print;
+}
+
+}  // namespace ezflow::testutil
