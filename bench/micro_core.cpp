@@ -19,6 +19,7 @@
 #include "net/routing.h"
 #include "net/topologies.h"
 #include "phy/channel.h"
+#include "sim/event_fn.h"
 #include "sim/scheduler.h"
 #include "traffic/source.h"
 
@@ -216,6 +217,91 @@ BENCHMARK(BM_BackoffContention)
     ->Args({16, 1024})
     ->Args({8, 16384})
     ->Unit(benchmark::kMillisecond);
+
+void BM_FrameFanout(benchmark::State& state)
+{
+    // Per-receiver cost of fanning one transmission out to 64 signal-end
+    // events: construct, invoke and destroy the event batch. Arg(0)
+    // reproduces the pre-PR-5 shape — every per-receiver event captures
+    // the full Frame (payload Packet included, ~96 B) by value, which
+    // also overflows the EventFn inline buffer and heap-allocates per
+    // signal. Arg(1) is the single-copy pipeline — one pooled
+    // FrameRecord per transmission, every event captures a pointer-sized
+    // FrameRef and stays inline. The shared scheduler arena cost is kept
+    // out so the ratio isolates exactly what the fan-out refactor
+    // changed.
+    const bool single_copy = state.range(0) != 0;
+    constexpr int kReceivers = 64;
+    phy::FramePool pool;
+    phy::Frame proto;
+    proto.type = phy::FrameType::kData;
+    proto.tx_node = 0;
+    proto.rx_node = 1;
+    proto.has_packet = true;
+    proto.packet = bench_packet(1);
+    std::uint64_t sink = 0;
+    std::vector<sim::EventFn> batch;
+    batch.reserve(kReceivers);
+    const std::uint64_t copies_before = phy::Frame::copies();
+    bool inline_events = true;
+    for (auto _ : state) {
+        if (single_copy) {
+            const phy::FrameRef ref = pool.make(phy::Frame(proto));
+            for (int r = 0; r < kReceivers; ++r)
+                batch.emplace_back([ref = ref, &sink] {
+                    sink += static_cast<std::uint64_t>(ref->packet.bytes);
+                });
+        } else {
+            for (int r = 0; r < kReceivers; ++r)
+                batch.emplace_back([frame = proto, &sink] {
+                    sink += static_cast<std::uint64_t>(frame.packet.bytes);
+                });
+        }
+        inline_events = inline_events && batch.front().is_inline();
+        for (sim::EventFn& event : batch) event();
+        batch.clear();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kReceivers);
+    state.counters["frame_copies_per_tx"] =
+        benchmark::Counter(static_cast<double>(phy::Frame::copies() - copies_before) /
+                           static_cast<double>(state.iterations()));
+    state.counters["inline_events"] = benchmark::Counter(inline_events ? 1.0 : 0.0);
+}
+BENCHMARK(BM_FrameFanout)->Arg(0)->Arg(1);
+
+void BM_SaturatedSource(benchmark::State& state)
+{
+    // Scheduler events needed per simulated second when a greedy CBR
+    // source offers 10x the link capacity. Arg(0): the per-period
+    // reference burns one emit event per nominal packet (plus the drop);
+    // Arg(1): the backpressure gate parks the source on queue-vacancy
+    // callbacks, so only accepted generations cost events.
+    const bool gated = state.range(0) != 0;
+    const util::SimTime sim_us = 2 * util::kSecond;
+    std::uint64_t events = 0;
+    std::uint64_t generated = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        net::Scenario scenario = net::make_line(1, 1000.0, 7);
+        net::Network& network = *scenario.network;
+        traffic::CbrSource source(network, 0, 1000, 8e6);
+        source.set_backpressure_gating(gated);
+        source.activate(0, sim_us);
+        state.ResumeTiming();
+        network.run_until(sim_us);
+        events += network.scheduler().processed();
+        generated += source.stats().generated;
+    }
+    state.SetItemsProcessed(state.iterations() * sim_us);
+    state.counters["events"] =
+        benchmark::Counter(static_cast<double>(events) / static_cast<double>(state.iterations()));
+    state.counters["events_per_s"] =
+        benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.counters["generated"] = benchmark::Counter(static_cast<double>(generated) /
+                                                     static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SaturatedSource)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_ChannelFanout(benchmark::State& state)
 {

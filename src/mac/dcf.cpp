@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ezflow::mac {
 
@@ -29,6 +30,14 @@ bool DcfMac::enqueue(const QueueKey& key, const net::Packet& packet)
 {
     MacQueue& queue = queues_.ensure(key);
     const bool accepted = queue.push(packet);
+    maybe_start_work();
+    return accepted;
+}
+
+bool DcfMac::enqueue(const QueueKey& key, net::Packet&& packet)
+{
+    MacQueue& queue = queues_.ensure(key);
+    const bool accepted = queue.push(std::move(packet));
     maybe_start_work();
     return accepted;
 }
@@ -197,7 +206,7 @@ void DcfMac::transmit_rts()
     // Duration: the rest of the exchange after the RTS ends.
     rts.duration_us = 3 * params_.sifs_us + phy_params.tx_duration(cts) + current_data_airtime() +
                       phy_params.tx_duration(ack);
-    phy_.start_tx(rts);
+    phy_.start_tx(std::move(rts));
 }
 
 void DcfMac::transmit_data()
@@ -219,7 +228,7 @@ void DcfMac::transmit_data()
     if (retries_ > 0) ++retransmissions_;
     if (retries_ == 0 && callbacks_ != nullptr)
         callbacks_->mac_first_tx(current_queue_->key(), frame.packet);
-    phy_.start_tx(frame);
+    phy_.start_tx(std::move(frame));
 }
 
 void DcfMac::phy_tx_done(const phy::Frame& frame)
@@ -356,7 +365,7 @@ void DcfMac::send_pending_control()
     // station's virtual slot re-arm one slot earlier, so boundary ties
     // resolve in the contenders' favour (late_trigger = true).
     coordinator_.begin_external_tx(/*late_trigger=*/true);
-    phy_.start_tx(frame);
+    phy_.start_tx(std::move(frame));
     coordinator_.end_external_tx();
 }
 
@@ -390,7 +399,7 @@ void DcfMac::on_cts_timeout()
 void DcfMac::finish_current(bool success)
 {
     const QueueKey key = current_queue_->key();
-    const net::Packet packet = current_queue_->front();
+    const net::Packet packet = std::move(current_queue_->mutable_front());
     current_queue_->pop();
     in_contention_ = false;
     current_queue_ = nullptr;

@@ -62,8 +62,10 @@ public:
     void set_callbacks(MacCallbacks* callbacks) { callbacks_ = callbacks; }
 
     /// Enqueue a packet toward `key.next_hop`. Returns false when the
-    /// interface queue was full and the packet was dropped.
+    /// interface queue was full and the packet was dropped. The rvalue
+    /// overload moves the packet into the queue (single-copy pipeline).
     bool enqueue(const QueueKey& key, const net::Packet& packet);
+    bool enqueue(const QueueKey& key, net::Packet&& packet);
 
     /// Per-queue CWmin control (EZ-Flow's single knob). Creates the queue
     /// if it does not exist yet.

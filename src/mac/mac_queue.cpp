@@ -1,6 +1,8 @@
 #include "mac/mac_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ezflow::mac {
 
@@ -11,14 +13,27 @@ MacQueue::MacQueue(QueueKey key, int capacity, int cw_min)
     if (cw_min <= 0) throw std::invalid_argument("MacQueue: cw_min must be > 0");
 }
 
-bool MacQueue::push(const net::Packet& packet)
+bool MacQueue::accept_one()
 {
     if (static_cast<int>(packets_.size()) >= capacity_) {
         ++dropped_full_;
         return false;
     }
-    packets_.push_back(packet);
     ++enqueued_;
+    return true;
+}
+
+bool MacQueue::push(const net::Packet& packet)
+{
+    if (!accept_one()) return false;
+    packets_.push_back(packet);
+    return true;
+}
+
+bool MacQueue::push(net::Packet&& packet)
+{
+    if (!accept_one()) return false;
+    packets_.push_back(std::move(packet));
     return true;
 }
 
@@ -39,6 +54,52 @@ void MacQueue::pop()
     if (packets_.empty()) throw std::logic_error("MacQueue::pop: empty");
     packets_.pop_front();
     ++dequeued_;
+    if (!waiters_.empty()) notify_vacancy();
+}
+
+void MacQueue::add_vacancy_waiter(VacancyWaiter* waiter)
+{
+    if (waiter == nullptr) throw std::invalid_argument("MacQueue::add_vacancy_waiter: null");
+    if (std::find(waiters_.begin(), waiters_.end(), waiter) != waiters_.end())
+        throw std::logic_error("MacQueue::add_vacancy_waiter: already registered");
+    waiters_.push_back(waiter);
+}
+
+void MacQueue::remove_vacancy_waiter(VacancyWaiter* waiter)
+{
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), waiter), waiters_.end());
+}
+
+void MacQueue::notify_vacancy()
+{
+    // One-shot: detach the current registrations first so a waiter that
+    // re-gates from within its commit registers for the NEXT pop. Both
+    // scratch buffers are members so steady-state pops on a gated queue
+    // stay allocation-free (this is the hot path the gate exists for).
+    notifying_.clear();
+    notifying_.swap(waiters_);  // waiters_ inherits the retained capacity
+
+    // Phase 1: every waiter settles its closed-form accounting and
+    // reports when (and from which virtual event) it would resume.
+    pending_.clear();
+    for (std::size_t i = 0; i < notifying_.size(); ++i) {
+        const VacancyWaiter::Resume resume = notifying_[i]->vacancy_prepare();
+        if (resume.resume_at >= 0) pending_.push_back(PendingResume{notifying_[i], resume, i});
+    }
+
+    // Phase 2: commit in the order the per-packet reference chains would
+    // have fired — earlier resume instant first; at the same instant the
+    // chain whose previous event ran earlier was scheduled earlier
+    // (scheduler FIFO); equal on both means the chains last fired at the
+    // same instant, where registration order IS their relative order.
+    std::sort(pending_.begin(), pending_.end(), [](const PendingResume& a, const PendingResume& b) {
+        if (a.resume.resume_at != b.resume.resume_at)
+            return a.resume.resume_at < b.resume.resume_at;
+        if (a.resume.scheduled_from != b.resume.scheduled_from)
+            return a.resume.scheduled_from < b.resume.scheduled_from;
+        return a.order < b.order;
+    });
+    for (const PendingResume& p : pending_) p.waiter->vacancy_commit();
 }
 
 void MacQueue::set_cw_min(int cw)

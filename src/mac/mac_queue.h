@@ -29,6 +29,33 @@ struct QueueKey {
     }
 };
 
+/// A party waiting for space in a full MacQueue. Backpressure-gated
+/// traffic sources implement this instead of burning one scheduler event
+/// per generated-and-dropped packet: the queue calls back at the first
+/// pop after registration. Notification is two-phase so that several
+/// waiters resuming at the same instant can be ordered exactly the way
+/// their independent per-packet event chains would have interleaved.
+class VacancyWaiter {
+public:
+    virtual ~VacancyWaiter() = default;
+
+    /// Phase 1 — a slot just freed. Settle internal accounting and
+    /// return the absolute time of the next pending emission, plus the
+    /// time of the virtual event that would have scheduled it (the FIFO
+    /// tie-break key of the per-packet reference). Return
+    /// `resume_at < 0` to drop out (e.g. the source's active period
+    /// ended).
+    struct Resume {
+        util::SimTime resume_at = -1;
+        util::SimTime scheduled_from = -1;
+    };
+    virtual Resume vacancy_prepare() = 0;
+
+    /// Phase 2 — schedule the resume event. Called in deterministic
+    /// order: ascending (resume_at, scheduled_from, registration order).
+    virtual void vacancy_commit() = 0;
+};
+
 /// One DropTail FIFO interface queue with its own CWmin — the single
 /// IEEE 802.11 parameter EZ-Flow manipulates.
 class MacQueue {
@@ -39,10 +66,25 @@ public:
 
     /// Returns false (and counts a drop) when the queue is full.
     bool push(const net::Packet& packet);
+    bool push(net::Packet&& packet);
     const net::Packet& front() const;
     /// Mutable head access (the MAC stamps first-transmission times).
     net::Packet& mutable_front();
     void pop();
+
+    /// Register `waiter` for a one-shot callback at the next pop. A
+    /// waiter may re-register from within its own commit. Registration
+    /// order is preserved (it is the tie-break of last resort when two
+    /// waiters resume at the same instant from the same virtual slot).
+    void add_vacancy_waiter(VacancyWaiter* waiter);
+    /// Drop a registration (waiter teardown). No-op when absent.
+    void remove_vacancy_waiter(VacancyWaiter* waiter);
+    std::size_t vacancy_waiters() const { return waiters_.size(); }
+
+    /// Account `count` generations a gated source skipped in closed form
+    /// while this queue was full: the per-packet reference would have
+    /// pushed (and drop-counted) each of them individually.
+    void count_gated_drops(std::uint64_t count) { dropped_full_ += count; }
 
     int size() const { return static_cast<int>(packets_.size()); }
     bool empty() const { return packets_.empty(); }
@@ -57,10 +99,24 @@ public:
     std::uint64_t dequeued() const { return dequeued_; }
 
 private:
+    /// Capacity check + drop/enqueue accounting shared by both push
+    /// overloads (counts the enqueue on acceptance).
+    bool accept_one();
+    void notify_vacancy();
+
+    struct PendingResume {
+        VacancyWaiter* waiter;
+        VacancyWaiter::Resume resume;
+        std::size_t order;
+    };
+
     QueueKey key_;
     int capacity_;
     int cw_min_;
     std::deque<net::Packet> packets_;
+    std::vector<VacancyWaiter*> waiters_;  ///< one-shot, registration order
+    std::vector<VacancyWaiter*> notifying_;  ///< scratch for notify_vacancy
+    std::vector<PendingResume> pending_;     ///< scratch for notify_vacancy
     std::uint64_t enqueued_ = 0;
     std::uint64_t dropped_full_ = 0;
     std::uint64_t dequeued_ = 0;

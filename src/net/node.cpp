@@ -1,6 +1,7 @@
 #include "net/node.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ezflow::net {
 
@@ -22,14 +23,20 @@ void Node::set_forward_interceptor(ForwardInterceptor interceptor)
     interceptor_ = std::move(interceptor);
 }
 
-bool Node::send(const Packet& packet)
+bool Node::send(Packet packet)
 {
     const NodeId next = routing_.next_hop(packet.flow_id, id_);
     const mac::QueueKey key{next, /*own_traffic=*/true};
     if (interceptor_ && interceptor_(key, packet)) return true;
-    const bool accepted = mac_.enqueue(key, packet);
+    const bool accepted = mac_.enqueue(key, std::move(packet));
     if (!accepted) ++source_queue_drops_;
     return accepted;
+}
+
+mac::MacQueue* Node::own_traffic_queue(int flow_id)
+{
+    const NodeId next = routing_.next_hop(flow_id, id_);
+    return mac_.queues().find(mac::QueueKey{next, /*own_traffic=*/true});
 }
 
 void Node::mac_rx(const phy::Frame& frame)

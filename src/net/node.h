@@ -38,9 +38,19 @@ public:
     mac::DcfMac& mac() { return mac_; }
     const mac::DcfMac& mac() const { return mac_; }
 
-    /// Inject a locally generated packet (source role). Returns false when
-    /// the own-traffic queue dropped it.
-    bool send(const Packet& packet);
+    /// Inject a locally generated packet (source role; moved into the
+    /// own-traffic queue). Returns false when the queue dropped it.
+    bool send(Packet packet);
+
+    /// The MAC interface queue locally generated traffic enters, or
+    /// nullptr before the first send. Backpressure-gated sources register
+    /// their vacancy callbacks on it.
+    mac::MacQueue* own_traffic_queue(int flow_id);
+
+    /// Account `count` source-side drops a gated source skipped in
+    /// closed form (the per-packet reference would have routed each
+    /// through send() individually).
+    void count_gated_source_drops(std::uint64_t count) { source_queue_drops_ += count; }
 
     /// Upper-layer delivery for packets whose end-to-end destination is
     /// this node. Multiple handlers may subscribe (sink, meters, taps);

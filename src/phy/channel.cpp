@@ -107,20 +107,27 @@ double Channel::sample_link_loss(net::NodeId tx, net::NodeId rx)
     return state.bad ? state.params.loss_bad : state.params.loss_good;
 }
 
-void Channel::transmit(NodePhy& sender, const Frame& frame)
+void Channel::transmit(NodePhy& sender, Frame frame)
 {
     const SimTime duration = params_.tx_duration(frame);
     const std::uint64_t signal_id = next_signal_id_++;
     ++transmissions_;
     if (frame.type == FrameType::kData) ++data_transmissions_;
 
+    // Single-copy fan-out: the frame moves into one pooled record and
+    // every per-receiver signal-end (plus the sender's tx-end) captures a
+    // pointer-sized handle, so the events stay in the scheduler's inline
+    // buffer and fan-out cost is O(receivers) pointer copies.
+    const FrameRef record = frame_pool_.make(std::move(frame));
+    const Frame& shared = *record;
+
     const auto deliver = [&](NodePhy* phy, bool in_delivery_range, bool sensed, double power_w) {
         const bool lost =
             in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
         const bool decodable = in_delivery_range && !lost;
-        phy->signal_start(signal_id, frame, decodable, sensed, power_w);
-        scheduler_.schedule_in(duration,
-                               [phy, signal_id, frame] { phy->signal_end(signal_id, frame); });
+        phy->signal_start(signal_id, shared, decodable, sensed, power_w);
+        scheduler_.schedule_in(
+            duration, [phy, signal_id, ref = record] { phy->signal_end(signal_id, *ref); });
     };
 
     if (cull_enabled_) {
@@ -143,7 +150,8 @@ void Channel::transmit(NodePhy& sender, const Frame& frame)
                     1.0 / (d_eff * d_eff * d_eff * d_eff));
         }
     }
-    scheduler_.schedule_in(duration, [&sender, frame] { sender.tx_end(frame); });
+    scheduler_.schedule_in(duration,
+                           [phy = &sender, ref = record] { phy->tx_end(*ref); });
 }
 
 }  // namespace ezflow::phy

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "phy/frame.h"
+#include "phy/frame_record.h"
 #include "phy/phy.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -63,7 +64,9 @@ public:
     static double gilbert_stationary_loss(const GilbertParams& params);
 
     /// Broadcast a frame from `sender`. Called by NodePhy::start_tx.
-    void transmit(NodePhy& sender, const Frame& frame);
+    /// Takes the frame by value: it is moved into a pooled FrameRecord
+    /// shared by every receiver's signal-end event (single-copy fan-out).
+    void transmit(NodePhy& sender, Frame frame);
 
     /// Disable (or re-enable) the reachability cull, falling back to the
     /// full-broadcast scan over every attached PHY. The outcomes are
@@ -79,6 +82,9 @@ public:
 
     std::uint64_t transmissions() const { return transmissions_; }
     std::uint64_t data_transmissions() const { return data_transmissions_; }
+
+    /// The per-transmission FrameRecord pool (stats for tests/benches).
+    const FramePool& frame_pool() const { return frame_pool_; }
 
 private:
     struct GilbertState {
@@ -111,6 +117,7 @@ private:
     bool cull_enabled_ = true;
     std::map<std::pair<net::NodeId, net::NodeId>, double> link_loss_;
     std::map<std::pair<net::NodeId, net::NodeId>, GilbertState> gilbert_;
+    FramePool frame_pool_;
     std::uint64_t next_signal_id_ = 1;
     std::uint64_t transmissions_ = 0;
     std::uint64_t data_transmissions_ = 0;

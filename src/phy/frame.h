@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "net/packet.h"
@@ -14,6 +15,12 @@ enum class FrameType { kData, kAck, kRts, kCts };
 
 /// A MAC frame on the air. Data frames carry a Packet; control frames
 /// (ACK/RTS/CTS) carry only the MAC addressing needed for the exchange.
+///
+/// Copies are counted (a relaxed atomic, so multi-seed sweeps stay safe):
+/// the transmission pipeline is single-copy by design — one FrameRecord
+/// per transmission, handles everywhere else — and tests pin that down by
+/// asserting the per-transmission copy count does not grow with the
+/// receiver fan-out. Moves are free and uncounted.
 struct Frame {
     FrameType type = FrameType::kData;
     NodeId tx_node = -1;  ///< transmitter (MAC source)
@@ -26,6 +33,47 @@ struct Frame {
     SimTime duration_us = 0;
     bool has_packet = false;
     net::Packet packet{};
+
+    Frame() = default;
+    Frame(Frame&&) = default;
+    Frame& operator=(Frame&&) = default;
+    Frame(const Frame& other)
+        : type(other.type),
+          tx_node(other.tx_node),
+          rx_node(other.rx_node),
+          mac_seq(other.mac_seq),
+          retry(other.retry),
+          duration_us(other.duration_us),
+          has_packet(other.has_packet),
+          packet(other.packet)
+    {
+        copy_counter().fetch_add(1, std::memory_order_relaxed);
+    }
+    Frame& operator=(const Frame& other)
+    {
+        if (this != &other) {
+            type = other.type;
+            tx_node = other.tx_node;
+            rx_node = other.rx_node;
+            mac_seq = other.mac_seq;
+            retry = other.retry;
+            duration_us = other.duration_us;
+            has_packet = other.has_packet;
+            packet = other.packet;
+            copy_counter().fetch_add(1, std::memory_order_relaxed);
+        }
+        return *this;
+    }
+
+    /// Process-wide count of Frame copies performed so far.
+    static std::uint64_t copies() { return copy_counter().load(std::memory_order_relaxed); }
+
+private:
+    static std::atomic<std::uint64_t>& copy_counter()
+    {
+        static std::atomic<std::uint64_t> counter{0};
+        return counter;
+    }
 };
 
 /// PHY parameters: IEEE 802.11b DSSS, long preamble, fixed 1 Mb/s, and the
@@ -47,7 +95,11 @@ struct PhyParams {
     int rts_frame_bytes = 20;
     int cts_frame_bytes = 14;
 
-    /// Airtime of a frame, in microseconds.
+    /// Airtime of a frame, in microseconds. The payload time is rounded
+    /// UP, matching 802.11 symbol rounding: a partially filled final
+    /// microsecond still occupies the medium (at 1 Mb/s every frame is an
+    /// exact number of microseconds, so the paper figures are unaffected;
+    /// at 2/5.5/11 Mb/s truncation would undercount airtime).
     SimTime tx_duration(const Frame& frame) const
     {
         int bytes = 0;
@@ -60,8 +112,7 @@ struct PhyParams {
                 break;
         }
         const std::int64_t bits = static_cast<std::int64_t>(bytes) * 8;
-        // 1 Mb/s => 1 bit per microsecond; keep the general formula anyway.
-        return plcp_overhead_us + bits * 1'000'000 / bitrate_bps;
+        return plcp_overhead_us + (bits * 1'000'000 + bitrate_bps - 1) / bitrate_bps;
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "phy/channel.h"
 
@@ -27,7 +28,7 @@ double NodePhy::interference_sum(std::uint64_t except_id) const
     return sum;
 }
 
-void NodePhy::start_tx(const Frame& frame)
+void NodePhy::start_tx(Frame frame)
 {
     if (transmitting_) throw std::logic_error("NodePhy::start_tx: already transmitting");
     if (channel_ == nullptr) throw std::logic_error("NodePhy::start_tx: no channel attached");
@@ -38,7 +39,7 @@ void NodePhy::start_tx(const Frame& frame)
     }
     transmitting_ = true;
     update_busy();
-    channel_->transmit(*this, frame);
+    channel_->transmit(*this, std::move(frame));
 }
 
 void NodePhy::signal_start(std::uint64_t signal_id, const Frame& frame, bool decodable,

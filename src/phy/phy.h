@@ -50,9 +50,11 @@ public:
     bool busy() const { return transmitting_ || sensed_active_ > 0; }
     bool transmitting() const { return transmitting_; }
 
-    /// Start transmitting `frame`. Throws if a transmission is in progress.
-    /// Aborts (corrupts) any reception in progress: half-duplex.
-    void start_tx(const Frame& frame);
+    /// Start transmitting `frame` (taken by value and moved into the
+    /// channel's shared per-transmission record — pass an rvalue to keep
+    /// the pipeline single-copy). Throws if a transmission is in
+    /// progress. Aborts (corrupts) any reception in progress: half-duplex.
+    void start_tx(Frame frame);
 
     // --- channel-facing interface ---
     /// A signal reaching this node started. `decodable`: within delivery

@@ -10,13 +10,15 @@ namespace ezflow::sim {
 /// Move-only type-erased `void()` callable with a small-buffer store.
 ///
 /// Scheduler callbacks are overwhelmingly a captured `this` pointer (MAC
-/// timers, tracers, pacers) or at worst a phy::Frame by value (~100 B for
-/// the channel's delivery events). The inline buffer is sized so both stay
-/// in the event arena slot: scheduling an event then never touches the
-/// allocator. Larger captures fall back to the heap transparently.
+/// timers, tracers, pacers) or the channel's delivery events, which since
+/// the single-copy frame pipeline capture only {NodePhy*, signal id,
+/// FrameRef} (24 B) instead of a ~100 B phy::Frame by value. The inline
+/// buffer is sized for those hot captures with headroom, which keeps the
+/// event arena slots compact; scheduling a hot-path event never touches
+/// the allocator. Larger captures fall back to the heap transparently.
 class EventFn {
 public:
-    static constexpr std::size_t kInlineBytes = 120;
+    static constexpr std::size_t kInlineBytes = 64;
 
     EventFn() = default;
 

@@ -41,6 +41,7 @@ EventId Scheduler::schedule_at(SimTime at, EventFn action)
     Slot& slot = slots_[index];
     slot.action = std::move(action);
     slot.at = at;
+    slot.scheduled_at = now_;
     slot.seq = next_seq_++;
     slot.armed = true;
     staging_.push_back(HeapRecord{at, slot.seq, index, slot.gen});
@@ -112,11 +113,16 @@ bool Scheduler::pop_and_run_next(SimTime limit)
         // Move the action out before releasing the slot so the handler may
         // schedule further events (which can reuse this very slot).
         EventFn action = std::move(slot.action);
+        const SimTime scheduled_at = slot.scheduled_at;
         release_slot(rec.slot);
         now_ = rec.at;
+        current_scheduled_at_ = scheduled_at;
+        current_seq_ = rec.seq;
         --live_events_;
         ++processed_;
         action();
+        current_scheduled_at_ = -1;
+        current_seq_ = ~0ull;
         return true;
     }
     return false;

@@ -72,6 +72,23 @@ public:
     std::size_t pending() const { return live_events_; }
     std::uint64_t processed() const { return processed_; }
 
+    /// Simulated time at which the currently executing event was
+    /// scheduled (-1 outside event execution). Lets observers reproduce
+    /// the FIFO tie-break of a hypothetical event against the running one
+    /// without materializing it — the backpressure-gated traffic sources
+    /// use this to keep their closed-form drop accounting byte-identical
+    /// to the one-event-per-packet reference.
+    SimTime current_event_scheduled_at() const { return current_scheduled_at_; }
+
+    /// Sequence number of the currently executing event (same-instant
+    /// events fire in ascending sequence), or ~0 outside event execution.
+    std::uint64_t current_event_seq() const { return current_seq_; }
+
+    /// The sequence number the next scheduled event will receive. A
+    /// hypothetical event "scheduled right here" can be tie-broken
+    /// exactly against real events by snapshotting this.
+    std::uint64_t next_event_seq() const { return next_seq_; }
+
     // --- introspection (tests and micro-benchmarks) ---
     /// Total slots ever allocated in the arena (live + recyclable).
     std::size_t arena_slots() const { return slots_.size(); }
@@ -85,6 +102,7 @@ private:
     struct Slot {
         EventFn action;
         SimTime at = 0;
+        SimTime scheduled_at = 0;  ///< now() when the event was scheduled
         std::uint64_t seq = 0;
         std::uint32_t gen = 1;
         std::uint32_t next_free = kNoSlot;
@@ -117,6 +135,8 @@ private:
     std::uint32_t free_head_ = kNoSlot;
     std::size_t stale_records_ = 0;
     SimTime now_ = 0;
+    SimTime current_scheduled_at_ = -1;
+    std::uint64_t current_seq_ = ~0ull;
     std::uint64_t next_seq_ = 0;
     std::size_t live_events_ = 0;
     std::uint64_t processed_ = 0;

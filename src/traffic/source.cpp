@@ -1,7 +1,9 @@
 #include "traffic/source.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ezflow::traffic {
 
@@ -16,18 +18,75 @@ Source::Source(net::Network& network, int flow_id, int payload_bytes)
     next_uid_base_ = static_cast<std::uint64_t>(flow_id + 1) << 40;
 }
 
+Source::~Source()
+{
+    if (gated_ && gate_queue_ != nullptr) gate_queue_->remove_vacancy_waiter(this);
+}
+
 void Source::activate(SimTime start, SimTime stop)
 {
     if (activated_) throw std::logic_error("Source::activate: already activated");
     if (stop <= start) throw std::invalid_argument("Source::activate: empty active period");
     activated_ = true;
     stop_at_ = stop;
+    chain_scheduled_at_ = network_.now();
+    next_emit_at_ = start;
     network_.scheduler().schedule_at(start, [this] { emit(); });
+}
+
+bool Source::boundary_emit_fires_first() const
+{
+    // Whether a virtual generation due exactly now would already have
+    // fired before the currently running event: its (virtual) emit event
+    // was scheduled at chain_scheduled_at_, so scheduler FIFO puts it
+    // first iff that is before the running event's scheduling instant.
+    // Outside event execution (after run_until drained the instant)
+    // every same-instant event has fired, so the boundary is always
+    // included.
+    const SimTime running = network_.scheduler().current_event_scheduled_at();
+    if (running < 0) return true;
+    if (chain_scheduled_at_ != running) return chain_scheduled_at_ < running;
+    // Scheduled at the same instant: exact when the chain event was real
+    // (gate entry snapshotted the seq the reference's emit would have
+    // consumed). The gated run never consumed that seq, so every event
+    // scheduled after gate entry carries a seq >= the snapshot while the
+    // reference would have placed it after the emit — hence <=, not <.
+    // After closed-form advances the chain event never ran, so the seq
+    // is unknowable; treat the chain as first, matching the common case
+    // of chains armed before the interleaving event.
+    if (virtual_chain_seq_ != kUnknownSeq)
+        return virtual_chain_seq_ <= network_.scheduler().current_event_seq();
+    return true;
+}
+
+void Source::set_backpressure_gating(bool enabled)
+{
+    if (enabled == gating_enabled_) return;
+    gating_enabled_ = enabled;
+    if (!enabled && gated_) {
+        // Resume the per-period event chain from the pending generation
+        // (instants already due are settled first, exactly as a vacancy
+        // would have).
+        leave_gate();
+        if (settle(network_.now(), boundary_emit_fires_first()))
+            network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
+    }
+}
+
+const Source::Stats& Source::stats()
+{
+    // While gated there are no emit events; bring the closed-form
+    // accounting up to date so readers see the reference counters.
+    if (gated_) settle(network_.now(), boundary_emit_fires_first());
+    return stats_;
 }
 
 void Source::emit()
 {
-    if (network_.now() >= stop_at_) return;
+    if (network_.now() >= stop_at_) {
+        chain_dead_ = true;
+        return;
+    }
 
     net::Packet packet;
     packet.uid = next_uid_base_ + next_seq_;
@@ -40,21 +99,118 @@ void Source::emit()
     packet.created_at = network_.now();
 
     ++stats_.generated;
-    if (network_.node(src_node_).send(packet))
+    const bool accepted = network_.node(src_node_).send(std::move(packet));
+    if (accepted)
         ++stats_.accepted;
     else
         ++stats_.dropped_at_source;
 
     const SimTime gap = std::max<SimTime>(1, next_interval());
-    network_.scheduler().schedule_in(gap, [this] { emit(); });
+    chain_scheduled_at_ = network_.now();
+    next_emit_at_ = network_.now() + gap;
+
+    if (!accepted && gating_enabled_) {
+        // The own-traffic queue is full (a failed send means the MAC
+        // queue dropped the packet; an interceptor that consumed it
+        // would have reported acceptance). Park on a vacancy callback
+        // instead of burning one event per generated-and-dropped packet.
+        // Snapshot the seq the reference's schedule call would consume
+        // right here, so an exact same-instant FIFO tie against the
+        // never-materialized emit event stays decidable.
+        if (mac::MacQueue* queue = network_.node(src_node_).own_traffic_queue(flow_id_)) {
+            virtual_chain_seq_ = network_.scheduler().next_event_seq();
+            enter_gate(*queue);
+            return;
+        }
+    }
+    network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
+}
+
+void Source::enter_gate(mac::MacQueue& queue)
+{
+    queue.add_vacancy_waiter(this);
+    gate_queue_ = &queue;
+    gated_ = true;
+}
+
+void Source::leave_gate()
+{
+    if (gate_queue_ != nullptr) gate_queue_->remove_vacancy_waiter(this);
+    gate_queue_ = nullptr;
+    gated_ = false;
+}
+
+void Source::account_skipped_generation()
+{
+    // What the per-packet reference would have done at this instant with
+    // a full queue: generate, consume a sequence number, push (counting a
+    // queue drop), and count the source-side drop.
+    ++stats_.generated;
+    ++stats_.dropped_at_source;
+    ++stats_.gated_skips;
+    ++next_seq_;
+    if (gate_queue_ != nullptr) gate_queue_->count_gated_drops(1);
+    network_.node(src_node_).count_gated_source_drops(1);
+}
+
+bool Source::settle(SimTime horizon, bool include_boundary)
+{
+    if (chain_dead_) return false;
+    while (next_emit_at_ < horizon || (include_boundary && next_emit_at_ == horizon)) {
+        if (next_emit_at_ >= stop_at_) {
+            chain_dead_ = true;
+            return false;
+        }
+        account_skipped_generation();
+        const SimTime gap = std::max<SimTime>(1, next_interval());
+        chain_scheduled_at_ = next_emit_at_;
+        virtual_chain_seq_ = kUnknownSeq;  // this chain event never ran
+        next_emit_at_ += gap;
+    }
+    return true;
+}
+
+Source::Resume Source::vacancy_prepare()
+{
+    // The queue detached this registration before calling; we are no
+    // longer parked either way.
+    gated_ = false;
+    // A generation due exactly at the pop instant fires before the
+    // popping event — and therefore still found the queue full — iff its
+    // (virtual) emit event was scheduled no later than the popping event
+    // (scheduler FIFO among same-instant events; see
+    // boundary_emit_fires_first for the equal-instant caveat).
+    if (!settle(network_.now(), boundary_emit_fires_first())) {
+        gate_queue_ = nullptr;
+        return Resume{};
+    }
+    return Resume{next_emit_at_, chain_scheduled_at_};
+}
+
+void Source::vacancy_commit()
+{
+    gate_queue_ = nullptr;
+    network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
 }
 
 CbrSource::CbrSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps)
     : Source(network, flow_id, payload_bytes)
 {
     if (rate_bps <= 0.0) throw std::invalid_argument("CbrSource: rate must be > 0");
-    interval_us_ = static_cast<SimTime>(static_cast<double>(payload_bytes) * 8.0 * 1e6 / rate_bps);
-    interval_us_ = std::max<SimTime>(1, interval_us_);
+    ideal_interval_us_ = static_cast<double>(payload_bytes) * 8.0 * 1e6 / rate_bps;
+}
+
+SimTime CbrSource::next_interval()
+{
+    // Error-carrying ideal timeline: packet n is due floor(n * ideal)
+    // after activation, so truncation error never accumulates into a
+    // systematic rate offset. Exact-microsecond ideals (all paper rates)
+    // degenerate to the uniform grid.
+    const double prev = static_cast<double>(ticks_) * ideal_interval_us_;
+    ++ticks_;
+    const double next = static_cast<double>(ticks_) * ideal_interval_us_;
+    return std::max<SimTime>(1, static_cast<SimTime>(std::floor(next)) -
+                                    static_cast<SimTime>(std::floor(prev)));
 }
 
 PoissonSource::PoissonSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps)
@@ -84,6 +240,15 @@ OnOffSource::OnOffSource(net::Network& network, int flow_id, int payload_bytes,
 
 SimTime OnOffSource::next_interval()
 {
+    if (!first_burst_drawn_) {
+        // The activation packet opens the first burst: its length is an
+        // on-draw like every later burst's, not a hardwired singleton
+        // followed by an off-gap.
+        first_burst_drawn_ = true;
+        burst_remaining_us_ = std::max(
+            interval_us_,
+            static_cast<SimTime>(rng_.exponential(static_cast<double>(mean_on_us_))));
+    }
     if (burst_remaining_us_ >= interval_us_) {
         burst_remaining_us_ -= interval_us_;
         return interval_us_;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "mac/mac_queue.h"
 #include "net/network.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
@@ -16,33 +17,93 @@ using util::SimTime;
 /// node between start/stop times. Packets enter the node's own-traffic
 /// MAC queue; when it is full they are dropped at the source, which is how
 /// a saturated (greedy) application behaves on real hardware.
-class Source {
+///
+/// Saturated sources are backpressure-gated: when an emission finds the
+/// own-traffic queue full, the source stops burning one scheduler event
+/// per nominal packet period and instead registers a vacancy callback
+/// with the MAC queue (mac::VacancyWaiter). The generations that the
+/// per-packet reference would have produced — and dropped — while the
+/// queue stayed full are accounted in closed form when the queue frees a
+/// slot (or when stats() is read), consuming the same per-generation
+/// next_interval() draws in the same order, so packet sequence numbers,
+/// Rng streams, per-queue/per-node drop counters and delivery order are
+/// identical to the reference. set_backpressure_gating(false) keeps the
+/// one-event-per-period reference path; tests prove the equivalence.
+///
+/// Residual tie caveat: an emit re-materialized at a vacancy is
+/// scheduled "now", so against an unrelated event scheduled during the
+/// gated stretch and firing at the exact same microsecond it sorts
+/// after, where the reference's long-armed emit sorted first. The pair
+/// only interacts if that event touches the same node's queue/MAC state
+/// within the instant — and the MAC cannot be idle right after a gated
+/// stretch (>= capacity-1 packets remain), so the enqueue commutes; the
+/// committed goldens and the seeded gated-vs-reference races pin the
+/// practical space down.
+///
+/// Lifetime: a Source references its Network (and, while gated, the MAC
+/// queue it waits on), so it must be destroyed before the Network —
+/// declare sources after the network/scenario that owns it, as every
+/// in-tree user does.
+class Source : private mac::VacancyWaiter {
 public:
     struct Stats {
         std::uint64_t generated = 0;
         std::uint64_t accepted = 0;
         std::uint64_t dropped_at_source = 0;
+        /// Generations accounted in closed form instead of an event each
+        /// (a subset of dropped_at_source; 0 with gating disabled).
+        std::uint64_t gated_skips = 0;
     };
 
     Source(net::Network& network, int flow_id, int payload_bytes);
-    virtual ~Source() = default;
+    ~Source() override;
     Source(const Source&) = delete;
     Source& operator=(const Source&) = delete;
 
     /// Schedule the active period [start, stop). Call once.
     void activate(SimTime start, SimTime stop);
 
-    const Stats& stats() const { return stats_; }
+    /// Disable (or re-enable) the backpressure gate, falling back to one
+    /// emit event per nominal packet period. The outcomes are identical
+    /// either way — this exists so tests and benches can prove exactly
+    /// that.
+    void set_backpressure_gating(bool enabled);
+    bool backpressure_gating() const { return gating_enabled_; }
+    /// Whether the source is currently parked on a vacancy callback.
+    bool gated() const { return gated_; }
+
+    /// Settles any closed-form accounting up to now() first, so the
+    /// counters always match the per-packet reference.
+    const Stats& stats();
     int flow_id() const { return flow_id_; }
 
 protected:
-    /// Time until the next packet (strictly positive).
+    /// Time until the next packet (strictly positive). Called exactly
+    /// once per generation — real or closed-form — in generation order,
+    /// so Rng-drawing implementations reproduce their draw sequence
+    /// exactly under gating.
     virtual SimTime next_interval() = 0;
 
     net::Network& network() { return network_; }
 
 private:
     void emit();
+    /// Account generations the reference would have dropped while the
+    /// queue stayed full, up to `horizon`. `include_boundary`: whether a
+    /// generation exactly at `horizon` fires before the running event
+    /// (scheduler FIFO; see vacancy_prepare). Returns false when the
+    /// chain left its active period (no further generations).
+    bool settle(SimTime horizon, bool include_boundary);
+    /// FIFO tie-break for a virtual generation due exactly now against
+    /// the currently running event (true outside event execution).
+    bool boundary_emit_fires_first() const;
+    void account_skipped_generation();
+    void enter_gate(mac::MacQueue& queue);
+    void leave_gate();
+
+    // --- mac::VacancyWaiter ---
+    Resume vacancy_prepare() override;
+    void vacancy_commit() override;
 
     net::Network& network_;
     int flow_id_;
@@ -54,19 +115,42 @@ private:
     std::uint64_t next_uid_base_ = 0;
     Stats stats_;
     bool activated_ = false;
+
+    bool gating_enabled_ = true;
+    bool gated_ = false;
+    mac::MacQueue* gate_queue_ = nullptr;  ///< registered waiter target
+    /// Next pending generation instant (the emit event's fire time, real
+    /// or virtual) and the instant of the chain event that scheduled it
+    /// (its scheduler-FIFO tie-break key against other events).
+    SimTime next_emit_at_ = 0;
+    SimTime chain_scheduled_at_ = 0;
+    /// Sequence number the pending virtual emit would have received had
+    /// the reference scheduled it (snapshotted at gate entry, where the
+    /// chain event is real); kUnknownSeq once the chain advances through
+    /// closed-form instants, whose scheduling seqs never materialized.
+    static constexpr std::uint64_t kUnknownSeq = ~0ull;
+    std::uint64_t virtual_chain_seq_ = kUnknownSeq;
+    bool chain_dead_ = false;  ///< left [start, stop): no more generations
 };
 
 /// Constant bit rate source (the paper's workload: CBR at 2 Mb/s to keep
-/// sources saturated).
+/// sources saturated). Emissions follow an error-carrying ideal timeline:
+/// the n-th packet is due floor(n * payload_bits / rate) after start, so
+/// the realized rate matches the nominal one even when the ideal interval
+/// is not a whole number of microseconds (a single truncated interval
+/// would systematically exceed the nominal rate). Rates that divide
+/// payload*8e6 evenly — all the paper's — produce the exact same uniform
+/// grid as the truncated interval did.
 class CbrSource final : public Source {
 public:
     CbrSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps);
 
 protected:
-    SimTime next_interval() override { return interval_us_; }
+    SimTime next_interval() override;
 
 private:
-    SimTime interval_us_;
+    double ideal_interval_us_;
+    std::uint64_t ticks_ = 0;  ///< intervals elapsed on the ideal timeline
 };
 
 /// Poisson (exponential inter-arrival) source, for non-saturated and
@@ -99,6 +183,7 @@ private:
     SimTime mean_off_us_;
     util::Rng rng_;
     SimTime burst_remaining_us_ = 0;
+    bool first_burst_drawn_ = false;
 };
 
 }  // namespace ezflow::traffic

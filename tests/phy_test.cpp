@@ -82,6 +82,32 @@ TEST(PhyParams, AckFrameAirtime)
     EXPECT_EQ(params.tx_duration(ack), 192 + 112);
 }
 
+TEST(PhyParams, AirtimeRoundsUpAtNonDividingBitrates)
+{
+    // (1000 + 36) * 8 = 8288 bits. At 1 Mb/s that is exactly 8288 us
+    // (paper figures unaffected); at 11 Mb/s truncation would undercount
+    // the 753.45 us payload time by a partial symbol.
+    PhyParams params;
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.has_packet = true;
+    frame.packet.bytes = 1000;
+
+    params.bitrate_bps = 11'000'000;
+    EXPECT_EQ(params.tx_duration(frame), params.plcp_overhead_us + 754);  // ceil(8288/11)
+    params.bitrate_bps = 5'500'000;
+    EXPECT_EQ(params.tx_duration(frame), params.plcp_overhead_us + 1507);  // ceil(8288/5.5)
+    params.bitrate_bps = 2'000'000;
+    EXPECT_EQ(params.tx_duration(frame), params.plcp_overhead_us + 4144);  // exact
+    params.bitrate_bps = 1'000'000;
+    EXPECT_EQ(params.tx_duration(frame), params.plcp_overhead_us + 8288);  // exact
+
+    Frame ack;
+    ack.type = FrameType::kAck;
+    params.bitrate_bps = 11'000'000;
+    EXPECT_EQ(params.tx_duration(ack), params.plcp_overhead_us + 11);  // ceil(112/11)
+}
+
 // -------------------------------------------------- channel and NodePhy
 
 /// Records everything the PHY reports, for assertions.
@@ -317,6 +343,91 @@ TEST(NodePhy, ChannelParamsRequiresAttachment)
     sim::Scheduler sched;
     NodePhy lone(0, Position{0, 0}, sched);
     EXPECT_THROW(lone.channel_params(), std::logic_error);
+}
+
+// ------------------------------------------- single-copy frame pipeline
+
+TEST(Channel, FanoutPerformsZeroPerReceiverFrameCopies)
+{
+    // A dense cluster: every node is within delivery range of the
+    // transmitter, so one transmission fans out to every other PHY. The
+    // whole pipeline — start_tx, the pooled FrameRecord, per-receiver
+    // signal_start/signal_end and the sender's tx_end — must not copy the
+    // Frame at all, regardless of the receiver count (listeners are left
+    // unset: delivery callbacks may copy, the transport may not).
+    for (const int nodes : {3, 61}) {
+        sim::Scheduler scheduler;
+        Channel channel(scheduler, util::Rng(7), PhyParams{});
+        std::vector<std::unique_ptr<NodePhy>> phys;
+        for (int i = 0; i < nodes; ++i) {
+            phys.push_back(std::make_unique<NodePhy>(i, Position{i * 1.0, 0.0}, scheduler));
+            channel.attach(*phys.back());
+        }
+        const std::uint64_t copies_before = Frame::copies();
+        phys[0]->start_tx(data_frame(0, 1));
+        scheduler.run();
+        EXPECT_EQ(Frame::copies() - copies_before, 0u) << "nodes=" << nodes;
+        EXPECT_EQ(channel.frame_pool().created(), 1u) << "nodes=" << nodes;
+    }
+}
+
+TEST(Channel, FramePoolRecyclesAcrossTransmissions)
+{
+    TestBed bed;
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    EXPECT_EQ(bed.channel.frame_pool().created(), 1u);
+    EXPECT_EQ(bed.channel.frame_pool().live(), 0u);  // all signal ends fired
+    a.start_tx(data_frame(0, 1));
+    bed.scheduler.run();
+    // The second transmission reuses the recycled record: steady state
+    // allocates nothing.
+    EXPECT_EQ(bed.channel.frame_pool().created(), 1u);
+    EXPECT_EQ(bed.channel.frame_pool().reused(), 1u);
+    EXPECT_EQ(bed.listener(1).decoded.size(), 2u);
+}
+
+TEST(Channel, FramePoolSharesOneRecordOnBroadcastPath)
+{
+    // Cull disabled (reference full-broadcast scan) with a lossy Gilbert
+    // link in the fan-out: still one record per transmission, released
+    // when the last signal end fires.
+    TestBed bed;
+    bed.channel.set_reachability_cull(false);
+    bed.channel.set_link_gilbert(0, 1, Channel::GilbertParams{1.0, 1.0, 0.0, 1.0});
+    NodePhy& a = bed.add(0);
+    bed.add(200);
+    bed.add(400);
+    a.start_tx(data_frame(0, 1));
+    EXPECT_EQ(bed.channel.frame_pool().created(), 1u);
+    EXPECT_EQ(bed.channel.frame_pool().live(), 1u);  // signal ends pending
+    bed.scheduler.run();
+    EXPECT_EQ(bed.channel.frame_pool().live(), 0u);
+}
+
+TEST(Channel, MidFlightRecordsSurviveChannelDestruction)
+{
+    // The scheduler can outlive the channel with signal-end events still
+    // pending (Network destroys members in reverse order). The pending
+    // FrameRefs must keep their orphaned records alive and free them when
+    // the events are destroyed — ASan runs of this test pin the lifetime
+    // down.
+    sim::Scheduler scheduler;
+    std::vector<std::unique_ptr<NodePhy>> phys;
+    {
+        Channel channel(scheduler, util::Rng(7), PhyParams{});
+        for (int i = 0; i < 3; ++i) {
+            phys.push_back(std::make_unique<NodePhy>(i, Position{i * 200.0, 0.0}, scheduler));
+            channel.attach(*phys.back());
+        }
+        phys[0]->start_tx(data_frame(0, 1));
+        EXPECT_EQ(channel.frame_pool().live(), 1u);
+        // Channel (and pool) destroyed here with the events mid-flight.
+    }
+    EXPECT_GT(scheduler.pending(), 0u);
+    // Scheduler destruction releases the orphaned record via the last ref.
 }
 
 TEST(Channel, TransmissionCountersTrackTypes)
