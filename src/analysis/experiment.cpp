@@ -38,7 +38,8 @@ Experiment::Experiment(net::Scenario scenario, ExperimentOptions options)
             break;
         case Mode::kEzFlow:
             agents_ = core::install_ezflow(net, options_.caa, options_.boe_history,
-                                           options_.boe_sniff_loss);
+                                           options_.boe_sniff_loss,
+                                           /*record_traces=*/!options_.streaming);
             break;
         case Mode::kPenalty:
             core::apply_penalty_policy(net, options_.penalty);
@@ -47,6 +48,7 @@ Experiment::Experiment(net::Scenario scenario, ExperimentOptions options)
 
     // Traffic and measurement plumbing.
     sink_ = std::make_unique<traffic::Sink>(net);
+    sink_->set_streaming(options_.streaming);
     for (const net::FlowPlan& plan : scenario_.flows) {
         sink_->attach_flow(plan.flow_id);
         throughput_[plan.flow_id] =
@@ -57,10 +59,12 @@ Experiment::Experiment(net::Scenario scenario, ExperimentOptions options)
         source->activate(util::from_seconds(plan.start_s), util::from_seconds(plan.stop_s));
         sources_.push_back(std::move(source));
     }
-    buffer_tracer_ =
-        std::make_unique<BufferTracer>(net, transmitters_, options_.buffer_sample_period);
+    buffer_tracer_ = std::make_unique<BufferTracer>(net, transmitters_,
+                                                    options_.buffer_sample_period,
+                                                    options_.streaming);
     buffer_tracer_->start();
-    cw_tracer_ = std::make_unique<CwTracer>(net, cw_targets, options_.cw_sample_period);
+    cw_tracer_ = std::make_unique<CwTracer>(net, cw_targets, options_.cw_sample_period,
+                                            options_.streaming);
     cw_tracer_->start();
 }
 
@@ -98,6 +102,15 @@ Experiment::FlowSummary Experiment::summarize(int flow_id, double from_s, double
     FlowSummary summary;
     summary.mean_kbps = it->second->mean_kbps(from, to);
     summary.stddev_kbps = it->second->stddev_kbps(from, to);
+    if (options_.streaming) {
+        // No delay series in streaming mode; report the whole-run stats.
+        const util::RunningStats& delays = sink_->flow(flow_id).delay_us;
+        if (delays.count() > 0) {
+            summary.mean_delay_s = delays.mean() / static_cast<double>(util::kSecond);
+            summary.max_delay_s = delays.max() / static_cast<double>(util::kSecond);
+        }
+        return summary;
+    }
     const util::TimeSeries& delays = sink_->flow(flow_id).delay_series;
     summary.mean_delay_s = delays.mean_between(from, to) / static_cast<double>(util::kSecond);
     summary.max_delay_s = delays.max_between(from, to) / static_cast<double>(util::kSecond);

@@ -35,6 +35,14 @@ struct ExperimentOptions {
     util::SimTime cw_sample_period = util::kSecond;
     double boe_sniff_loss = 0.0;       ///< ablation: fraction of sniffs missed
     std::size_t boe_history = 1000;    ///< BOE sent-list length (paper: 1000)
+    /// Streaming measurement: recorders keep whole-run summaries
+    /// (RunningStats) instead of per-event series, so peak memory is
+    /// O(nodes + flows) regardless of run length. summarize() then
+    /// reports whole-run delay stats instead of windowed ones; series
+    /// accessors (delay_series, tracer trace(), goodput_kbps) are
+    /// unavailable. For long perf runs (islands / 10k grids), not for
+    /// figure generation.
+    bool streaming = false;
 };
 
 /// Owns a scenario plus everything needed to run and measure it:

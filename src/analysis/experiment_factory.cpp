@@ -76,6 +76,15 @@ ScenarioSpec ScenarioSpec::random_mesh(const net::MeshSpec& mesh)
     return spec;
 }
 
+ScenarioSpec ScenarioSpec::islands_spec(const net::IslandsSpec& islands)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kIslands;
+    spec.islands = islands;
+    spec.shards = islands.max_shards;
+    return spec;
+}
+
 std::string scenario_name(const ScenarioSpec& spec)
 {
     std::ostringstream out;
@@ -98,7 +107,13 @@ std::string scenario_name(const ScenarioSpec& spec)
         case ScenarioSpec::Kind::kMesh:
             out << "mesh-" << spec.mesh.nodes << "n-f" << spec.mesh.flows;
             break;
+        case ScenarioSpec::Kind::kIslands:
+            out << "islands-" << spec.islands.islands << "x" << spec.islands.cols << "x"
+                << spec.islands.rows;
+            break;
     }
+    // Deliberately no shard suffix: the label feeds figure JSON, which
+    // must stay byte-identical across shard counts.
     return out.str();
 }
 
@@ -114,15 +129,29 @@ net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
             return net::make_scenario1(spec.time_scale, seed);
         case ScenarioSpec::Kind::kScenario2:
             return net::make_scenario2(spec.time_scale, seed);
-        case ScenarioSpec::Kind::kGridCross:
-            return net::make_grid_cross(spec.grid, seed);
-        case ScenarioSpec::Kind::kGridGateway:
-            return net::make_grid_convergecast(spec.grid, seed);
+        case ScenarioSpec::Kind::kGridCross: {
+            net::GridSpec grid = spec.grid;
+            grid.max_shards = spec.shards;
+            return net::make_grid_cross(grid, seed);
+        }
+        case ScenarioSpec::Kind::kGridGateway: {
+            net::GridSpec grid = spec.grid;
+            grid.max_shards = spec.shards;
+            return net::make_grid_convergecast(grid, seed);
+        }
         case ScenarioSpec::Kind::kParkingLot:
             return net::make_parking_lot_chain(spec.lot_hops, spec.lot_flows, spec.lot_start_s,
                                                spec.lot_duration_s, seed);
-        case ScenarioSpec::Kind::kMesh:
-            return net::make_random_mesh(spec.mesh, seed);
+        case ScenarioSpec::Kind::kMesh: {
+            net::MeshSpec mesh = spec.mesh;
+            mesh.max_shards = spec.shards;
+            return net::make_random_mesh(mesh, seed);
+        }
+        case ScenarioSpec::Kind::kIslands: {
+            net::IslandsSpec islands = spec.islands;
+            islands.max_shards = spec.shards;
+            return net::make_islands(islands, seed);
+        }
     }
     throw std::logic_error("build_scenario: unknown scenario kind");
 }

@@ -24,6 +24,7 @@ struct ScenarioSpec {
         kGridGateway, ///< N x M lattice, edge sources converging on node 0
         kParkingLot,  ///< arbitrary-length chain, staggered entry flows
         kMesh,        ///< seeded random mesh, shortest-path flows
+        kIslands,     ///< disconnected grid islands (sharded-engine bench)
     };
 
     Kind kind = Kind::kScenario1;
@@ -54,6 +55,16 @@ struct ScenarioSpec {
     // kMesh knobs.
     net::MeshSpec mesh;
 
+    // kIslands knobs.
+    net::IslandsSpec islands;
+
+    /// Shard budget for generated topologies (grid / mesh / islands):
+    /// the Network partitions nodes into up to this many conflict-free
+    /// shards. 1 keeps the serial engine; connected topologies collapse
+    /// back to one shard regardless. Ignored by the hand-built paper
+    /// scenarios, which are all single-component.
+    int shards = 1;
+
     static ScenarioSpec line(int hops, double duration_s);
     static ScenarioSpec testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
                                 double f2_stop_s);
@@ -63,6 +74,7 @@ struct ScenarioSpec {
     static ScenarioSpec grid_gateway(const net::GridSpec& grid);
     static ScenarioSpec parking_lot(int hops, int flows, double duration_s);
     static ScenarioSpec random_mesh(const net::MeshSpec& mesh);
+    static ScenarioSpec islands_spec(const net::IslandsSpec& islands);
 };
 
 std::string scenario_name(const ScenarioSpec& spec);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <vector>
 
@@ -15,31 +16,57 @@ using util::SimTime;
 /// producing the (time, queue size) traces of Fig. 1 and Fig. 4. The
 /// sampled value is the node's total MAC backlog (all interface queues),
 /// which is what the testbed's driver instrumentation measured.
+///
+/// Sampling is vectorized per shard: one periodic sweep event per shard
+/// visits every tracked node of that shard (a single chain — the serial
+/// reference — when the network is unsharded), so tracer event cost is
+/// O(shards) per period instead of O(nodes).
+///
+/// `streaming` mode keeps only whole-run RunningStats per node instead
+/// of the full (time, value) series — O(nodes) memory for arbitrarily
+/// long runs. trace() is unavailable then; mean_occupancy ignores its
+/// window and reports the whole-run mean.
 class BufferTracer {
 public:
-    BufferTracer(net::Network& network, std::vector<net::NodeId> nodes, SimTime period);
+    BufferTracer(net::Network& network, std::vector<net::NodeId> nodes, SimTime period,
+                 bool streaming = false);
 
     /// Begin periodic sampling at the next period boundary.
     void start();
 
     const util::TimeSeries& trace(net::NodeId node) const;
-    /// Mean occupancy of `node` over [from, to).
+    /// Mean occupancy of `node` over [from, to) (whole run in streaming
+    /// mode).
     double mean_occupancy(net::NodeId node, SimTime from, SimTime to) const;
     /// Max occupancy of `node` over the whole trace.
     double max_occupancy(net::NodeId node) const;
 
+    bool streaming() const { return streaming_; }
+    /// Total series samples held (stays 0 in streaming mode — the flat
+    /// memory assertion of the islands benchmark).
+    std::size_t stored_samples() const;
+
 private:
-    void sample();
+    struct Sweep {
+        sim::Scheduler* scheduler;
+        std::vector<net::NodeId> nodes;
+    };
+
+    void sample(std::size_t sweep);
 
     net::Network& network_;
-    std::vector<net::NodeId> nodes_;
     SimTime period_;
+    bool streaming_;
+    std::vector<Sweep> sweeps_;  ///< one periodic chain per shard, shard id ascending
     std::map<net::NodeId, util::TimeSeries> traces_;
+    std::map<net::NodeId, util::RunningStats> stats_;
     bool started_ = false;
 };
 
 /// Windowed goodput meter for a flow: records kb/s per window, the series
-/// behind Fig. 6's throughput-vs-time plots.
+/// behind Fig. 6's throughput-vs-time plots. Runs on the destination
+/// node's shard scheduler; memory is O(run length / window), independent
+/// of event count.
 class ThroughputMeter {
 public:
     ThroughputMeter(net::Network& network, int flow_id, SimTime window);
@@ -56,6 +83,7 @@ private:
     void on_window();
 
     net::Network& network_;
+    sim::Scheduler* scheduler_;  ///< the destination node's shard
     int flow_id_;
     SimTime window_;
     util::TimeSeries series_;
@@ -66,6 +94,7 @@ private:
 /// Samples EZ-Flow contention windows (per node, toward a given successor)
 /// periodically: the data behind Fig. 8 / Fig. 11. Works off the MAC's
 /// queue CWmin so it also traces the baseline and penalty policies.
+/// Vectorized per shard and streamable exactly like BufferTracer.
 class CwTracer {
 public:
     struct Target {
@@ -73,19 +102,30 @@ public:
         net::NodeId successor;
     };
 
-    CwTracer(net::Network& network, std::vector<Target> targets, SimTime period);
+    CwTracer(net::Network& network, std::vector<Target> targets, SimTime period,
+             bool streaming = false);
 
     void start();
 
     const util::TimeSeries& trace(net::NodeId node) const;
 
+    bool streaming() const { return streaming_; }
+    std::size_t stored_samples() const;
+
 private:
-    void sample();
+    struct Sweep {
+        sim::Scheduler* scheduler;
+        std::vector<Target> targets;
+    };
+
+    void sample(std::size_t sweep);
 
     net::Network& network_;
-    std::vector<Target> targets_;
     SimTime period_;
+    bool streaming_;
+    std::vector<Sweep> sweeps_;  ///< one periodic chain per shard, shard id ascending
     std::map<net::NodeId, util::TimeSeries> traces_;
+    std::map<net::NodeId, util::RunningStats> stats_;
     bool started_ = false;
 };
 

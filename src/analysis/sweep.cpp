@@ -16,14 +16,30 @@ std::atomic<std::uint64_t> g_events{0};
 std::atomic<std::uint64_t> g_runs{0};
 std::atomic<std::uint64_t> g_wall_ns{0};
 
+// Shard accounting for the [perf] line: the widest shard count seen and
+// per-shard event totals over a fixed number of display slots.
+constexpr int kShardSlots = 8;
+std::atomic<int> g_shards_max{1};
+std::atomic<std::uint64_t> g_shard_events[kShardSlots]{};
+
 /// Run one (cell, seed) task to completion and summarize every window.
 SeedResult run_one(const ExperimentFactory& factory, const SweepConfig& config,
                    std::uint64_t seed, std::unique_ptr<Experiment>* keep)
 {
     std::unique_ptr<Experiment> experiment = factory.make(seed);
     experiment->run();
-    g_events.fetch_add(experiment->network().scheduler().processed(), std::memory_order_relaxed);
+    net::Network& network = experiment->network();
+    g_events.fetch_add(network.total_processed(), std::memory_order_relaxed);
     g_runs.fetch_add(1, std::memory_order_relaxed);
+    const int shards = network.shard_count();
+    int widest = g_shards_max.load(std::memory_order_relaxed);
+    while (shards > widest &&
+           !g_shards_max.compare_exchange_weak(widest, shards, std::memory_order_relaxed)) {
+    }
+    if (shards > 1) {
+        for (int s = 0; s < shards && s < kShardSlots; ++s)
+            g_shard_events[s].fetch_add(network.shard_processed(s), std::memory_order_relaxed);
+    }
 
     SeedResult result;
     result.seed = seed;
@@ -78,6 +94,13 @@ PerfTotals perf_totals()
     totals.events = g_events.load(std::memory_order_relaxed);
     totals.runs = g_runs.load(std::memory_order_relaxed);
     totals.wall_seconds = static_cast<double>(g_wall_ns.load(std::memory_order_relaxed)) * 1e-9;
+    totals.shards = g_shards_max.load(std::memory_order_relaxed);
+    if (totals.shards > 1) {
+        const int slots = totals.shards < kShardSlots ? totals.shards : kShardSlots;
+        totals.shard_events.reserve(static_cast<std::size_t>(slots));
+        for (int s = 0; s < slots; ++s)
+            totals.shard_events.push_back(g_shard_events[s].load(std::memory_order_relaxed));
+    }
     return totals;
 }
 

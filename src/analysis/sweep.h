@@ -78,6 +78,12 @@ struct PerfTotals {
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
     double wall_seconds = 0.0;
+    /// Largest shard count any completed run used (1 = serial engine).
+    int shards = 1;
+    /// Events processed per shard id, summed across multi-shard runs
+    /// (empty until a multi-shard run completes; capped at a small fixed
+    /// number of slots — the CLI reports "+" when a run had more).
+    std::vector<std::uint64_t> shard_events;
 };
 
 /// Snapshot of the accumulated totals (monotonic; diff two snapshots to

@@ -30,7 +30,8 @@ int usage(const char* message = nullptr)
         "  list  [--category=figure|table|ablation|example|micro]\n"
         "        enumerate the registered scenarios/figures\n"
         "  run   <figure...> [--scale=F] [--seed=N] [--seeds=K] [--threads=T]\n"
-        "        [--out=DIR] [--csv=DIR] [--smoke] [--all] [--json-only] [--quiet]\n"
+        "        [--shards=S] [--streaming] [--out=DIR] [--csv=DIR] [--smoke] [--all]\n"
+        "        [--json-only] [--quiet]\n"
         "        run figures; with --out, write <out>/<figure>.json (+ .csv)\n"
         "        --smoke uses each figure's canned fast grid (the goldens grid)\n"
         "  sweep <figure...> --grid=axis=v1:v2[,axis=...] [run flags]\n"
@@ -50,6 +51,8 @@ struct RunFlags {
     std::uint64_t seed = 7;
     int seeds = -1;  ///< <0: use the spec default
     int threads = 0;
+    int shards = 0;  ///< 0: keep each figure's default shard budget
+    bool streaming = false;
     std::string out_dir;
     std::string csv_dir;
     bool smoke = false;
@@ -71,6 +74,8 @@ RunFlags parse_run_flags(const util::Cli& cli)
     flags.seed = std::stoull(seed_text);  // full 64-bit seed range
     flags.seeds = cli.get_int("seeds", -1);
     flags.threads = cli.get_int("threads", 0);
+    flags.shards = cli.get_int("shards", 0);
+    flags.streaming = cli.get_bool("streaming", false);
     flags.out_dir = cli.get("out", "");
     flags.csv_dir = cli.get("csv", "");
     flags.smoke = cli.get_bool("smoke", false);
@@ -80,6 +85,7 @@ RunFlags parse_run_flags(const util::Cli& cli)
     // Anything not claimed above rides along as a figure-specific knob
     // (e.g. quickstart's --hops), exposed via FigureContext::extra.
     static const std::set<std::string> known = {"scale", "seed",      "seeds", "threads",
+                                               "shards", "streaming",
                                                "out",   "csv",       "smoke", "all",
                                                "grid",  "json-only", "quiet", "rel-tol",
                                                "abs-tol", "bit-exact", "category"};
@@ -99,6 +105,8 @@ FigureContext make_context(const FigureSpec& spec, const RunFlags& flags)
     ctx.seeds = flags.seeds > 0 ? flags.seeds
                                 : (flags.smoke ? spec.smoke_seeds : spec.default_seeds);
     ctx.threads = flags.threads;
+    ctx.shards = flags.shards;
+    ctx.streaming = flags.streaming;
     ctx.csv_dir = flags.csv_dir;
     ctx.extra = flags.extra;
     return ctx;
@@ -192,6 +200,17 @@ void print_perf(const FigureSpec& spec, const analysis::PerfTotals& before)
                 spec.name.c_str(), wall, format_magnitude(static_cast<double>(events)).c_str(),
                 format_magnitude(static_cast<double>(events) / wall).c_str(),
                 static_cast<unsigned long long>(runs), runs == 1 ? "" : "s");
+    if (now.shards > 1) {
+        std::string per_shard;
+        for (std::size_t s = 0; s < now.shard_events.size(); ++s) {
+            const std::uint64_t prior = s < before.shard_events.size() ? before.shard_events[s] : 0;
+            if (!per_shard.empty()) per_shard += " ";
+            per_shard += format_magnitude(static_cast<double>(now.shard_events[s] - prior));
+        }
+        if (now.shards > static_cast<int>(now.shard_events.size())) per_shard += " ...";
+        std::printf("[perf] %s: %d shards, events/shard: %s\n", spec.name.c_str(), now.shards,
+                    per_shard.c_str());
+    }
 }
 
 bool write_file(const std::string& path, const std::string& content)

@@ -124,6 +124,31 @@ FigureResult run_grid_maxmin(const FigureContext& ctx)
     return result;
 }
 
+// -- islands: disconnected grid islands, one shard each ------------------
+
+FigureResult run_islands(const FigureContext& ctx)
+{
+    net::IslandsSpec islands;
+    islands.islands = ctx.extra_int("islands", 4);
+    islands.cols = ctx.extra_int("cols", 4);
+    islands.rows = ctx.extra_int("rows", 4);
+    islands.sources = ctx.extra_int("sources", 2);
+    islands.spacing_m = ctx.extra_double("spacing", islands.spacing_m);
+    islands.gap_m = ctx.extra_double("gap", islands.gap_m);
+    islands.duration_s = ctx.extra_double("duration", 60.0 * ctx.scale);
+    // Default to one shard per island so every run (including CI smoke)
+    // exercises the sharded engine; results are byte-identical to serial.
+    islands.max_shards = islands.islands;
+    const int flows = islands.islands * islands.sources;
+    const std::vector<SweepWindow> windows = {
+        SweepWindow{"settled", islands.start_s + 0.3 * islands.duration_s,
+                    islands.start_s + islands.duration_s, flow_ids_upto(flows)}};
+    FigureResult result = make_result(ctx);
+    append_mode_cells(result, ctx, ScenarioSpec::islands_spec(islands), windows,
+                      /*maxmin=*/false);
+    return result;
+}
+
 }  // namespace
 
 void register_grid_figures()
@@ -153,6 +178,15 @@ void register_grid_figures()
         "(maxmin_ratio -> 0); EZ-flow holds the ratio up without any message passing. "
         "Extra flags: --hops, --duration.",
         1.0, 2, 0.1, 2, run_grid_maxmin});
+    registry.add(FigureSpec{
+        "islands", "", "figure",
+        "disconnected grid islands partitioned one shard per island",
+        "the space-parallel sharded engine's embarrassingly-parallel case",
+        "Each island is an independent convergecast grid; the conflict-graph partitioner "
+        "assigns one shard per island and the sharded engine runs them on the thread pool. "
+        "Figure JSON is byte-identical to the serial engine (--shards=1). Extra flags: "
+        "--islands, --cols, --rows, --sources, --spacing, --gap, --duration.",
+        1.0, 2, 0.1, 2, run_islands});
 }
 
 }  // namespace ezflow::cli

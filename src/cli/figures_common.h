@@ -24,12 +24,17 @@ inline std::vector<analysis::SweepResult> sweep_modes(
     const std::vector<analysis::Mode>& modes, std::vector<analysis::SweepWindow> windows,
     bool keep_experiments = false)
 {
+    analysis::ScenarioSpec resolved = spec;
+    // --shards overrides the figure's shard budget; connected topologies
+    // collapse back to one shard, so this is always safe to pass.
+    if (ctx.shards > 0) resolved.shards = ctx.shards;
     std::vector<analysis::ExperimentFactory> cells;
     cells.reserve(modes.size());
     for (analysis::Mode mode : modes) {
         analysis::ExperimentOptions options;
         options.mode = mode;
-        cells.emplace_back(spec, options);
+        options.streaming = ctx.streaming;
+        cells.emplace_back(resolved, options);
     }
     analysis::SweepConfig config;
     config.windows = std::move(windows);

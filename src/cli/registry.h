@@ -23,6 +23,13 @@ struct FigureContext {
     std::uint64_t seed = 7;
     int seeds = 1;
     int threads = 0;            ///< 0 = hardware concurrency
+    /// Shard budget for generated topologies (0 = the figure's default).
+    /// Results are byte-identical across shard counts; only event
+    /// partitioning changes.
+    int shards = 0;
+    /// Streaming recorders: O(nodes + flows) peak memory, whole-run delay
+    /// stats instead of windowed ones. For long perf runs only.
+    bool streaming = false;
     std::string csv_dir;        ///< when non-empty, dump first-seed series here
     std::map<std::string, std::string> extra;  ///< unclaimed --key=value flags
     /// Names the runner actually read, so the CLI can warn about flags

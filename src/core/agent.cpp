@@ -5,12 +5,14 @@
 namespace ezflow::core {
 
 EzFlowAgent::EzFlowAgent(net::Network& network, net::NodeId node, CaaConfig config,
-                         std::size_t boe_history, double sniff_loss)
+                         std::size_t boe_history, double sniff_loss, bool record_traces)
     : network_(network),
+      scheduler_(&network.scheduler_for(node)),
       node_id_(node),
       config_(config),
       boe_history_(boe_history),
       sniff_loss_(sniff_loss),
+      record_traces_(record_traces),
       rng_(network.fork_rng())
 {
     if (sniff_loss < 0.0 || sniff_loss > 1.0)
@@ -36,7 +38,7 @@ EzFlowAgent::SuccessorState& EzFlowAgent::ensure_successor(net::NodeId successor
         config_, [this, successor, raw, &mac](int cw) {
             mac.set_queue_cw_min(mac::QueueKey{successor, /*own_traffic=*/false}, cw);
             mac.set_queue_cw_min(mac::QueueKey{successor, /*own_traffic=*/true}, cw);
-            raw->cw_trace.add(network_.now(), static_cast<double>(cw));
+            if (record_traces_) raw->cw_trace.add(scheduler_->now(), static_cast<double>(cw));
         });
     successors_[successor] = std::move(state);
     return *successors_.at(successor);
@@ -58,7 +60,8 @@ void EzFlowAgent::on_sniffed(const phy::Frame& frame)
     const std::optional<int> estimate = state.boe.on_packet_overheard(frame.packet.checksum);
     if (!estimate.has_value()) return;
     ++samples_delivered_;
-    state.estimate_trace.add(network_.now(), static_cast<double>(*estimate));
+    if (record_traces_)
+        state.estimate_trace.add(scheduler_->now(), static_cast<double>(*estimate));
     state.caa->on_sample(*estimate);
 }
 
@@ -73,7 +76,8 @@ int EzFlowAgent::cw_toward(net::NodeId successor) const
 std::map<net::NodeId, std::unique_ptr<EzFlowAgent>> install_ezflow(net::Network& network,
                                                                    const CaaConfig& config,
                                                                    std::size_t boe_history,
-                                                                   double sniff_loss)
+                                                                   double sniff_loss,
+                                                                   bool record_traces)
 {
     std::map<net::NodeId, std::unique_ptr<EzFlowAgent>> agents;
     for (int flow_id : network.routing().flow_ids()) {
@@ -81,7 +85,8 @@ std::map<net::NodeId, std::unique_ptr<EzFlowAgent>> install_ezflow(net::Network&
         for (std::size_t i = 0; i + 1 < path.size(); ++i) {
             const net::NodeId node = path[i];
             if (agents.count(node) > 0) continue;
-            agents[node] = std::make_unique<EzFlowAgent>(network, node, config, boe_history, sniff_loss);
+            agents[node] = std::make_unique<EzFlowAgent>(network, node, config, boe_history,
+                                                         sniff_loss, record_traces);
         }
     }
     return agents;

@@ -35,9 +35,12 @@ public:
 
     /// Attach EZ-Flow to `node`. `sniff_loss` optionally drops a fraction
     /// of overheard frames before they reach the BOE (ablation: robustness
-    /// to missed sniffs).
+    /// to missed sniffs). `record_traces = false` (streaming runs) skips
+    /// the O(events) cw/estimate trace appends; the control loop itself
+    /// is unaffected.
     EzFlowAgent(net::Network& network, net::NodeId node, CaaConfig config,
-                std::size_t boe_history = 1000, double sniff_loss = 0.0);
+                std::size_t boe_history = 1000, double sniff_loss = 0.0,
+                bool record_traces = true);
     EzFlowAgent(const EzFlowAgent&) = delete;
     EzFlowAgent& operator=(const EzFlowAgent&) = delete;
 
@@ -61,10 +64,12 @@ private:
     void on_sniffed(const phy::Frame& frame);
 
     net::Network& network_;
+    sim::Scheduler* scheduler_;  ///< the node's shard scheduler (trace timestamps)
     net::NodeId node_id_;
     CaaConfig config_;
     std::size_t boe_history_;
     double sniff_loss_;
+    bool record_traces_;
     util::Rng rng_;
     std::map<net::NodeId, std::unique_ptr<SuccessorState>> successors_;
     std::uint64_t samples_delivered_ = 0;
@@ -75,6 +80,7 @@ private:
 std::map<net::NodeId, std::unique_ptr<EzFlowAgent>> install_ezflow(net::Network& network,
                                                                    const CaaConfig& config,
                                                                    std::size_t boe_history = 1000,
-                                                                   double sniff_loss = 0.0);
+                                                                   double sniff_loss = 0.0,
+                                                                   bool record_traces = true);
 
 }  // namespace ezflow::core

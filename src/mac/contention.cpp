@@ -22,6 +22,58 @@ bool ContentionCoordinator::is_registered(const BackoffClient& client) const
     return find_index(client) != entries_.size();
 }
 
+void ContentionCoordinator::insert_entry(Entry entry)
+{
+    // Fire order of two entries' pending virtual events, were they due at
+    // the same instant (see the ordering discussion in the header): later
+    // DIFS end first; among equal DIFS ends, earlier-armed first, then
+    // registration order. The key is immutable, so sorted insertion keeps
+    // the whole vector ordered with no re-sorting.
+    const auto fires_before = [](const Entry& a, const Entry& b) {
+        if (a.reg_at != b.reg_at) return a.reg_at > b.reg_at;
+        if (a.armed != b.armed) return a.armed < b.armed;
+        return a.seq < b.seq;
+    };
+    const auto position = std::lower_bound(entries_.begin(), entries_.end(), entry, fires_before);
+    entries_.insert(position, entry);
+    rearm();
+}
+
+void ContentionCoordinator::register_access(BackoffClient& client, SimTime difs_us,
+                                            int backoff_slots, SimTime slot_us)
+{
+    if (backoff_slots < 0)
+        throw std::invalid_argument("ContentionCoordinator::register_access: negative count");
+    if (slot_us <= 0)
+        throw std::invalid_argument("ContentionCoordinator::register_access: bad slot");
+    if (difs_us <= slot_us)
+        throw std::invalid_argument(
+            "ContentionCoordinator::register_access: difs must exceed one slot");
+    if (is_registered(client))
+        throw std::logic_error("ContentionCoordinator::register_access: already registered");
+
+    const SimTime now = scheduler_.now();
+    Entry entry;
+    entry.client = &client;
+    entry.reg_at = now + difs_us;
+    entry.armed = now;
+    entry.seq = next_seq_++;
+    entry.slot = slot_us;
+    if (backoff_slots == 0) {
+        // Immediate access: the reference transmits inside its DIFS-end
+        // event; no decrement is ever owed.
+        entry.remaining = 0;
+        entry.difs_pending = false;
+        entry.expiry = entry.reg_at;
+    } else {
+        // One decrement at DIFS end, the rest at subsequent boundaries.
+        entry.remaining = backoff_slots - 1;
+        entry.difs_pending = true;
+        entry.expiry = entry.reg_at + static_cast<SimTime>(backoff_slots) * slot_us;
+    }
+    insert_entry(entry);
+}
+
 void ContentionCoordinator::register_backoff(BackoffClient& client, int remaining_slots,
                                              SimTime slot_us)
 {
@@ -33,21 +85,16 @@ void ContentionCoordinator::register_backoff(BackoffClient& client, int remainin
         throw std::logic_error("ContentionCoordinator::register_backoff: already registered");
 
     const SimTime now = scheduler_.now();
-    if (now != last_register_at_) {
-        last_register_at_ = now;
-        block_end_ = 0;
-    }
     Entry entry;
     entry.client = &client;
-    entry.start = now;
+    entry.reg_at = now;  // the caller's DIFS ended (and decremented) here
+    entry.armed = now;
+    entry.seq = next_seq_++;
     entry.slot = slot_us;
     entry.remaining = remaining_slots;
+    entry.difs_pending = false;
     entry.expiry = now + (static_cast<SimTime>(remaining_slots) + 1) * slot_us;
-    // A chain joining now goes in front of every chain that re-armed at an
-    // earlier instant; same-instant joiners keep their arrival order.
-    entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(block_end_), entry);
-    ++block_end_;
-    rearm();
+    insert_entry(entry);
 }
 
 bool ContentionCoordinator::precedes_transmitter(std::size_t index) const
@@ -68,20 +115,29 @@ int ContentionCoordinator::freeze(BackoffClient& client)
     if (index == entries_.size())
         throw std::logic_error("ContentionCoordinator::freeze: not registered");
     const Entry entry = entries_[index];
-    const SimTime elapsed = scheduler_.now() - entry.start;
+    const SimTime now = scheduler_.now();
     int consumed = 0;
-    if (elapsed > 0) {
-        // The per-slot reference decrements at boundaries start + k*slot,
-        // k >= 1. Boundaries strictly before now all fired; the boundary
-        // exactly at now fired only when this chain's event preceded the
-        // interrupting transmission in the scheduler's FIFO tie order.
+    if (now == entry.reg_at) {
+        // Exactly at the (virtual) DIFS end: the first decrement happened
+        // only when the DIFS-end event preceded the interrupting
+        // transmission in the scheduler's FIFO tie order.
+        if (entry.difs_pending && precedes_transmitter(index)) consumed = 1;
+    } else if (now > entry.reg_at) {
+        // The DIFS-end decrement (when owed) certainly fired; boundaries
+        // reg_at + k*slot, k >= 1, strictly before now all fired, and the
+        // boundary exactly at now fired only when this chain's event
+        // preceded the interrupting transmission.
+        const SimTime elapsed = now - entry.reg_at;
         const SimTime whole = elapsed / entry.slot;
+        int boundaries = 0;
         if (elapsed % entry.slot != 0) {
-            consumed = static_cast<int>(whole);
+            boundaries = static_cast<int>(whole);
         } else {
-            consumed = static_cast<int>(whole) - 1 + (precedes_transmitter(index) ? 1 : 0);
+            boundaries = static_cast<int>(whole) - 1 + (precedes_transmitter(index) ? 1 : 0);
         }
-        consumed = std::min(std::max(consumed, 0), entry.remaining);
+        const int owed = entry.remaining + (entry.difs_pending ? 1 : 0);
+        consumed = (entry.difs_pending ? 1 : 0) + std::max(boundaries, 0);
+        consumed = std::min(consumed, owed);
     }
     slots_batched_ += static_cast<std::uint64_t>(consumed);
     erase_at(index);
@@ -97,9 +153,6 @@ void ContentionCoordinator::unregister(BackoffClient& client)
 void ContentionCoordinator::erase_at(std::size_t index)
 {
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
-    // Keep the same-instant insert block aligned when a freeze removes an
-    // entry below it (a hidden node may still register at this instant).
-    if (index < block_end_ && block_end_ > 0) --block_end_;
     if (!in_fire_) rearm();
 }
 

@@ -26,26 +26,36 @@ public:
 /// slot countdown (one Timer firing every slot_us for every contending
 /// MAC) into one scheduler event per transmission opportunity.
 ///
-/// A MAC that finished its DIFS registers its remaining slot count
-/// instead of arming a per-slot timer; the coordinator keeps a single
-/// timer armed at the earliest expiry across all registrants. When a
-/// registrant's medium goes busy it calls freeze(), which consumes the
-/// number of whole slots that elapsed since registration in one batch —
-/// the same arithmetic the per-slot countdown would have performed, so
-/// transmission instants and Rng consumption are identical while the
-/// event count drops from O(slots) to O(transmissions).
+/// register_access() fuses the DIFS wait and the backoff countdown into a
+/// single registration: the MAC hands over its interframe space and its
+/// remaining slot count in one call, and the coordinator owns the whole
+/// idle-medium timeline — DIFS end, per-slot decrements, and the final
+/// expiry — with one timer. That is one scheduler insert per contention
+/// cycle instead of a DIFS timer plus a registration. When a registrant's
+/// medium goes busy it calls freeze(), which consumes the decrements that
+/// elapsed since registration in one batch — the same arithmetic the
+/// per-slot countdown would have performed, so transmission instants and
+/// Rng consumption are identical while the event count drops from
+/// O(slots) to O(transmissions).
 ///
 /// Equivalence with the per-slot reference is exact including ties. The
 /// reference decrements at the *start* of each slot boundary, and a
 /// transmission beginning exactly on a registrant's boundary may arrive
 /// before or after that registrant's slot event depending on scheduler
-/// insertion order (the scheduler breaks time ties FIFO). The
-/// coordinator reproduces that order without per-slot events:
-///  * `entries_` is kept in the order the per-slot timer chains would
-///    fire within one instant: registrants joining at a later instant go
-///    in front (their DIFS event was inserted before the older chains'
-///    most recent re-arm), same-instant registrants keep their
-///    registration order (their DIFS timers fired in insertion order).
+/// insertion order (the scheduler breaks time ties FIFO). The coordinator
+/// reproduces that order without per-slot events by keeping `entries_`
+/// sorted the way the reference's pending events would fire if due at the
+/// same instant:
+///  * DIFS-end first (reg_at descending): a chain still inside its DIFS
+///    has its pending event armed a whole interframe space back, which is
+///    earlier than any ongoing chain's most recent per-slot re-arm (this
+///    requires difs_us > slot_us, which register_access enforces); and a
+///    chain that entered backoff later re-armed in front of older chains
+///    at their first shared boundary.
+///  * Among equal DIFS-ends, arming instant ascending then registration
+///    order: two DIFS waits ending at the same instant fire in the order
+///    their timers were armed, which is the order the reference's
+///    scheduler would pop them.
 ///  * expiries due at the same instant fire in `entries_` order, and a
 ///    registrant frozen by an earlier-firing registrant counts the
 ///    boundary decrement exactly when it precedes the transmitter in
@@ -55,26 +65,39 @@ public:
 ///    (ACK/CTS, or data following a CTS) was scheduled *after* the
 ///    registrants' virtual slot re-arm one slot earlier, so at an exact
 ///    boundary tie the reference would have decremented first
-///    (late_trigger = true); a DIFS/EIFS-end transmission was scheduled
-///    before it and preempts the decrement (late_trigger = false).
+///    (late_trigger = true); a transmission whose trigger was armed at
+///    least one slot back preempts the decrement (late_trigger = false).
 class ContentionCoordinator {
 public:
     explicit ContentionCoordinator(sim::Scheduler& scheduler);
     ContentionCoordinator(const ContentionCoordinator&) = delete;
     ContentionCoordinator& operator=(const ContentionCoordinator&) = delete;
 
-    /// Start a batched countdown for `client`. The caller has already
-    /// consumed the decrement at the current instant (the per-slot
-    /// reference decrements immediately when DIFS elapses);
-    /// `remaining_slots` more decrements are owed, one per further slot
-    /// boundary, and backoff_expired() fires one slot after the last of
-    /// them. Throws if `client` is already registered.
+    /// Fused DIFS + backoff registration: the medium just went idle (or
+    /// the MAC re-entered the access procedure) and the interframe space
+    /// of `difs_us` begins now. `backoff_slots` is the full remaining
+    /// counter: the first decrement is owed at DIFS end (exactly when the
+    /// per-slot reference decrements inside its DIFS-end event), one more
+    /// per subsequent slot boundary, and backoff_expired() fires at
+    /// now + difs_us + backoff_slots * slot_us — immediately at DIFS end
+    /// when the counter is zero. freeze() reports every decrement that
+    /// happened, DIFS-end one included; a freeze before DIFS end consumes
+    /// nothing. Requires difs_us > slot_us (the tie-order argument above
+    /// relies on it). Throws if `client` is already registered.
+    void register_access(BackoffClient& client, SimTime difs_us, int backoff_slots,
+                         SimTime slot_us);
+
+    /// Backoff-only registration (the pre-fused API, kept for equivalence
+    /// tests): the caller has already consumed the decrement at the
+    /// current instant; `remaining_slots` more decrements are owed, one
+    /// per further slot boundary, and backoff_expired() fires one slot
+    /// after the last of them. Throws if `client` is already registered.
     void register_backoff(BackoffClient& client, int remaining_slots, SimTime slot_us);
 
-    /// The client's medium went busy: consume the slots that elapsed
+    /// The client's medium went busy: consume the decrements that elapsed
     /// since registration (batch decrement) and unregister. Returns the
-    /// number of slots consumed; the client subtracts it from its
-    /// remaining count. Throws if `client` is not registered.
+    /// number of decrements; the client subtracts it from its remaining
+    /// count. Throws if `client` is not registered.
     int freeze(BackoffClient& client);
 
     /// Drop a registration without slot accounting (client teardown).
@@ -83,17 +106,17 @@ public:
     bool is_registered(const BackoffClient& client) const;
 
     /// Bracket a transmission that is not driven by a coordinator expiry
-    /// (DIFS-end immediate access, SIFS-timed control frames, data after
-    /// CTS) so that freezes caused by its busy cascade resolve exact
-    /// slot-boundary ties the way the per-slot reference would (see the
-    /// class comment). `late_trigger`: the event that triggered this
-    /// transmission was scheduled less than one slot before now.
+    /// (SIFS-timed control frames, data after CTS) so that freezes caused
+    /// by its busy cascade resolve exact slot-boundary ties the way the
+    /// per-slot reference would (see the class comment). `late_trigger`:
+    /// the event that triggered this transmission was scheduled less than
+    /// one slot before now.
     void begin_external_tx(bool late_trigger);
     void end_external_tx();
 
-    /// Currently registered backoff counters.
+    /// Currently registered contenders (DIFS phase included).
     std::size_t contenders() const { return entries_.size(); }
-    /// Total slot decrements consumed through batched freezes (stats).
+    /// Total decrements consumed through batched freezes (stats).
     std::uint64_t slots_batched() const { return slots_batched_; }
     /// Total backoff expiries delivered (stats).
     std::uint64_t expiries() const { return expiries_; }
@@ -101,12 +124,17 @@ public:
 private:
     struct Entry {
         BackoffClient* client;
-        SimTime start;   ///< registration instant (decrement already taken)
+        SimTime reg_at;  ///< DIFS end: first decrement owed here (difs_pending)
+        SimTime armed;   ///< when the pending DIFS-end event was armed
+        std::uint64_t seq;  ///< registration order, ties in (reg_at, armed)
         SimTime slot;    ///< slot duration, microseconds
-        int remaining;   ///< decrements owed after `start`
-        SimTime expiry;  ///< start + (remaining + 1) * slot
+        int remaining;   ///< decrements owed at boundaries after reg_at
+        bool difs_pending;  ///< a decrement is owed at reg_at itself
+        SimTime expiry;  ///< fire instant: reg_at when the counter is
+                         ///< already zero, else reg_at + (remaining+1)*slot
     };
 
+    void insert_entry(Entry entry);
     void on_timer();
     /// Re-aim the single timer at the earliest registered expiry (or
     /// disarm when no one is registered). No-op while the due-expiry
@@ -122,17 +150,16 @@ private:
     void rearm();
     std::size_t find_index(const BackoffClient& client) const;
     void erase_at(std::size_t index);
-    /// Whether `entry`'s virtual slot event at the current instant would
-    /// have fired before the transmission that is interrupting it.
+    /// Whether `entry`'s virtual event at the current instant would have
+    /// fired before the transmission that is interrupting it.
     bool precedes_transmitter(std::size_t index) const;
 
     sim::Scheduler& scheduler_;
     sim::Timer timer_;
-    std::vector<Entry> entries_;  ///< virtual per-slot chain order
+    std::vector<Entry> entries_;  ///< virtual pending-event fire order
+    std::uint64_t next_seq_ = 0;
     SimTime armed_at_ = -1;       ///< pending wake-up instant (-1: none)
     bool armed_final_ = false;    ///< armed at an expiry (else at its stage)
-    SimTime last_register_at_ = -1;
-    std::size_t block_end_ = 0;  ///< end of the same-instant insert block
     const BackoffClient* firing_ = nullptr;
     int external_depth_ = 0;
     bool external_late_ = false;

@@ -14,7 +14,6 @@ DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, ContentionCoordinat
       rng_(std::move(rng)),
       params_(params),
       queues_(params.queue_capacity, params.cw_min),
-      difs_timer_(scheduler, [this] { on_difs_elapsed(); }),
       ack_timer_(scheduler, [this] { on_ack_timeout(); }),
       cts_timer_(scheduler, [this] { on_cts_timeout(); })
 {
@@ -101,12 +100,13 @@ void DcfMac::resume_access()
 
 void DcfMac::start_difs()
 {
-    state_ = State::kWaitDifs;
+    state_ = State::kContending;
     // EIFS replaces DIFS when the last sensed busy period could not be
     // decoded: the station must leave room for an exchange (ACK) it may
-    // have jammed or missed.
+    // have jammed or missed. The coordinator owns the whole wait — DIFS
+    // end, per-slot decrements, and the expiry — in one registration.
     const SimTime wait = phy_.last_rx_error() ? params_.eifs_us : params_.difs_us;
-    difs_timer_.arm_in(wait);
+    coordinator_.register_access(*this, wait, backoff_remaining_, params_.slot_us);
 }
 
 void DcfMac::set_nav_for_ack()
@@ -121,7 +121,7 @@ void DcfMac::set_nav_until(SimTime until)
 {
     if (until <= nav_until_ || until <= scheduler_.now()) return;
     nav_until_ = until;
-    if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+    if (state_ == State::kContending) {
         freeze_contention();
         state_ = State::kWaitMediumIdle;
     }
@@ -137,36 +137,15 @@ void DcfMac::on_nav_expired()
 
 void DcfMac::freeze_contention()
 {
-    if (state_ == State::kWaitDifs) {
-        difs_timer_.cancel();
-    } else if (state_ == State::kBackoff) {
-        backoff_remaining_ -= coordinator_.freeze(*this);
-    }
-}
-
-void DcfMac::on_difs_elapsed()
-{
-    state_ = State::kBackoff;
-    if (backoff_remaining_ == 0) {
-        // Immediate access: the per-slot countdown would transmit within
-        // this very event. The DIFS timer was armed a full DIFS ago, so
-        // at an exact slot-boundary tie it preempts other stations'
-        // countdown events (late_trigger = false).
-        coordinator_.begin_external_tx(/*late_trigger=*/false);
-        start_exchange();
-        coordinator_.end_external_tx();
-        return;
-    }
-    // Mirror the per-slot reference, which decrements once immediately at
-    // DIFS end; the coordinator owes the rest, one per slot boundary.
-    --backoff_remaining_;
-    coordinator_.register_backoff(*this, backoff_remaining_, params_.slot_us);
+    // The coordinator reports every decrement that elapsed, the DIFS-end
+    // one included; a freeze still inside the DIFS consumes nothing.
+    backoff_remaining_ -= coordinator_.freeze(*this);
 }
 
 void DcfMac::backoff_expired()
 {
-    if (state_ != State::kBackoff || !in_contention_)
-        throw std::logic_error("DcfMac::backoff_expired: not in backoff");
+    if (state_ != State::kContending || !in_contention_)
+        throw std::logic_error("DcfMac::backoff_expired: not contending");
     backoff_remaining_ = 0;
     start_exchange();
 }
@@ -335,8 +314,8 @@ void DcfMac::schedule_control_if_needed()
 {
     if (ack_tx_scheduled_ || pending_ctrl_.empty()) return;
     ack_tx_scheduled_ = true;
-    // Control responses have SIFS priority: suspend contention timers.
-    if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+    // Control responses have SIFS priority: suspend the contention wait.
+    if (state_ == State::kContending) {
         freeze_contention();
         state_ = State::kWaitMediumIdle;  // re-entered after the response
     }
@@ -417,7 +396,7 @@ void DcfMac::finish_current(bool success)
 void DcfMac::phy_busy_changed(bool busy)
 {
     if (busy) {
-        if (state_ == State::kWaitDifs || state_ == State::kBackoff) {
+        if (state_ == State::kContending) {
             freeze_contention();
             state_ = State::kWaitMediumIdle;
         }
@@ -425,7 +404,8 @@ void DcfMac::phy_busy_changed(bool busy)
     }
     // Physical carrier became idle; the NAV may still hold us back (its
     // expiry event re-checks).
-    if (state_ == State::kWaitMediumIdle && in_contention_ && !ack_tx_scheduled_ && !medium_busy()) {
+    if (state_ == State::kWaitMediumIdle && in_contention_ && !ack_tx_scheduled_ &&
+        !medium_busy()) {
         start_difs();
     }
 }

@@ -45,12 +45,14 @@ public:
 /// Retransmissions escalate cw binary-exponentially from the queue's CWmin
 /// (the parameter EZ-Flow adapts) up to max(cw_max_escalation, CWmin).
 ///
-/// The countdown itself is batched: instead of arming a timer per slot,
-/// the MAC registers its remaining slot count with the channel's shared
-/// ContentionCoordinator and is called back once, at the instant the
-/// per-slot countdown would have reached zero; a busy medium consumes the
-/// elapsed whole slots in one batch. Same DCF dynamics (identical Rng
-/// draws and transmission instants), O(transmissions) scheduler events.
+/// The whole idle-medium wait is batched: instead of a DIFS timer plus a
+/// timer per slot, the MAC registers its interframe space and remaining
+/// slot count with the channel's shared ContentionCoordinator in one call
+/// and is called back once, at the instant the per-slot countdown would
+/// have reached zero; a busy medium consumes the elapsed decrements in
+/// one batch. Same DCF dynamics (identical Rng draws and transmission
+/// instants), O(transmissions) scheduler events — one insert per
+/// contention cycle.
 class DcfMac final : public phy::PhyListener, public BackoffClient {
 public:
     DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, ContentionCoordinator& coordinator,
@@ -98,8 +100,9 @@ private:
     enum class State {
         kIdle,
         kWaitMediumIdle,
-        kWaitDifs,
-        kBackoff,
+        /// Registered with the ContentionCoordinator for the fused
+        /// DIFS + backoff countdown (one registration covers both).
+        kContending,
         kTxRts,
         kWaitCts,
         kTxData,
@@ -111,9 +114,10 @@ private:
     void start_new_contention();
     /// Enter the access procedure keeping the current backoff counter.
     void resume_access();
+    /// Register the fused DIFS + backoff countdown with the coordinator.
     void start_difs();
-    /// Suspend the access procedure: cancel a pending DIFS, or batch-
-    /// consume the backoff slots elapsed since the countdown started.
+    /// Suspend the access procedure: batch-consume the decrements (DIFS-
+    /// end one included) that elapsed since registration.
     void freeze_contention();
     /// Physical or virtual (NAV) carrier indicates a busy medium.
     bool medium_busy() const;
@@ -122,7 +126,6 @@ private:
     /// Extend the NAV to an absolute deadline (RTS/CTS Duration fields).
     void set_nav_until(SimTime until);
     void on_nav_expired();
-    void on_difs_elapsed();
     /// Start the frame exchange for the committed packet: either the data
     /// frame directly (basic access) or the RTS when the handshake is on.
     void start_exchange();
@@ -155,7 +158,6 @@ private:
     int backoff_remaining_ = 0;
     std::uint32_t current_seq_ = 0;
 
-    sim::Timer difs_timer_;
     sim::Timer ack_timer_;
     sim::Timer cts_timer_;
 

@@ -7,8 +7,10 @@
 #include "mac/mac_params.h"
 #include "net/node.h"
 #include "net/routing.h"
+#include "net/shard_plan.h"
 #include "phy/channel.h"
 #include "sim/scheduler.h"
+#include "sim/sharded_engine.h"
 #include "util/rng.h"
 
 namespace ezflow::net {
@@ -16,12 +18,27 @@ namespace ezflow::net {
 /// Everything a simulation needs, wired together: scheduler, channel,
 /// nodes, routing. Owns all components; nodes are addressed by dense ids
 /// in creation order.
+///
+/// With a ShardPlan in the config the Network is space-parallel: every
+/// shard owns its own Scheduler/Channel/ContentionCoordinator, nodes
+/// bind to their shard's trio, and run_until() drives the shards in
+/// lockstep epochs on sim::ShardedEngine. The plan guarantees no radio
+/// edge crosses shards (see plan_shards), so sharded execution is
+/// byte-identical to the serial reference. Without a plan (the default)
+/// there is exactly one shard and execution is the serial reference
+/// itself.
 class Network {
 public:
     struct Config {
         phy::PhyParams phy;
         mac::MacParams mac;
         std::uint64_t seed = 1;
+        /// Upper bound on shards a topology generator may plan for; the
+        /// generators compute `shard_plan` from this before construction.
+        int max_shards = 1;
+        /// Node-to-shard assignment (empty: single shard, serial
+        /// reference). Must cover every node id that will be added.
+        ShardPlan shard_plan;
     };
 
     explicit Network(Config config);
@@ -31,17 +48,36 @@ public:
     /// Create a node at `position`; returns its id (dense, from 0).
     NodeId add_node(phy::Position position);
 
-    /// Register a static flow path. All nodes must already exist and
-    /// consecutive path nodes must be within delivery range.
+    /// Register a static flow path. All nodes must already exist,
+    /// consecutive path nodes must be within delivery range, and the
+    /// whole path must stay inside one shard (radio hops cannot cross
+    /// the partition; cross-shard wired handoffs go through
+    /// sim::ShardedEngine::post instead).
     void add_flow(int flow_id, std::vector<NodeId> path);
 
     Node& node(NodeId id);
     const Node& node(NodeId id) const;
     int node_count() const { return static_cast<int>(nodes_.size()); }
 
-    sim::Scheduler& scheduler() { return scheduler_; }
-    phy::Channel& channel() { return channel_; }
-    mac::ContentionCoordinator& contention() { return contention_; }
+    /// Shard 0's scheduler/channel/coordinator — in the unsharded case
+    /// (every canned scenario) the only ones, i.e. the serial reference.
+    sim::Scheduler& scheduler() { return shards_[0]->scheduler; }
+    phy::Channel& channel() { return shards_[0]->channel; }
+    mac::ContentionCoordinator& contention() { return shards_[0]->contention; }
+
+    int shard_count() const { return static_cast<int>(shards_.size()); }
+    int shard_of(NodeId id) const;
+    sim::Scheduler& scheduler_for(NodeId id) { return shard(shard_of(id)).scheduler; }
+    sim::Scheduler& shard_scheduler(int s) { return shard(s).scheduler; }
+    phy::Channel& shard_channel(int s) { return shard(s).channel; }
+
+    /// Aggregates across shards (equal to the singular accessors'
+    /// counters when shard_count() == 1).
+    std::uint64_t total_processed() const;
+    std::uint64_t total_transmissions() const;
+    std::uint64_t total_data_transmissions() const;
+    std::uint64_t shard_processed(int s) const { return shard(s).scheduler.processed(); }
+
     StaticRouting& routing() { return routing_; }
     const StaticRouting& routing() const { return routing_; }
     /// The compiled O(1) forwarding table over routing(); what every
@@ -54,19 +90,43 @@ public:
     /// (for traffic sources, agents, etc.).
     util::Rng fork_rng() { return rng_.fork(); }
 
+    /// Worker threads for the sharded engine (<= 0: hardware
+    /// concurrency). Takes effect when the engine is first built, i.e.
+    /// set it before the first run_until(). No effect on results —
+    /// sharded execution is deterministic for any thread count.
+    void set_shard_threads(int threads) { shard_threads_ = threads; }
+
+    /// The epoch driver; built on demand when shard_count() > 1 (null
+    /// for a single shard — run_until drives the scheduler directly).
+    sim::ShardedEngine* sharded_engine();
+
     /// Advance simulated time.
-    void run_until(util::SimTime t) { scheduler_.run_until(t); }
-    util::SimTime now() const { return scheduler_.now(); }
+    void run_until(util::SimTime t);
+    util::SimTime now() const { return shards_[0]->scheduler.now(); }
 
 private:
+    struct Shard {
+        sim::Scheduler scheduler;
+        phy::Channel channel;
+        mac::ContentionCoordinator contention;
+        Shard(util::Rng channel_rng, const phy::PhyParams& params)
+            : channel(scheduler, std::move(channel_rng), params), contention(scheduler)
+        {
+        }
+    };
+
+    Shard& shard(int s);
+    const Shard& shard(int s) const;
+
     Config config_;
-    sim::Scheduler scheduler_;
     util::Rng rng_;
-    phy::Channel channel_;
-    mac::ContentionCoordinator contention_;  ///< shared by every node's MAC
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<int> shard_of_;  ///< dense by node id
     StaticRouting routing_;
     RoutingTable routing_table_{routing_};
     std::vector<std::unique_ptr<Node>> nodes_;
+    int shard_threads_ = 0;
+    std::unique_ptr<sim::ShardedEngine> engine_;
 };
 
 }  // namespace ezflow::net

@@ -1,0 +1,150 @@
+#include "net/shard_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace ezflow::net {
+namespace {
+
+/// Union-find with path halving + union by size.
+class UnionFind {
+public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1)
+    {
+        for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+    }
+
+    int find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b) return;
+        if (size_[a] < size_[b]) std::swap(a, b);
+        parent_[b] = a;
+        size_[a] += size_[b];
+    }
+
+private:
+    std::vector<int> parent_;
+    std::vector<int> size_;
+};
+
+}  // namespace
+
+ShardPlan plan_shards(const std::vector<phy::Position>& positions, const phy::PhyParams& phy,
+                      int max_shards)
+{
+    const int n = static_cast<int>(positions.size());
+    ShardPlan plan;
+    if (n == 0 || max_shards <= 1) return plan;  // empty plan: serial reference
+
+    const double radius =
+        std::max(phy.tx_range_m, std::max(phy.cs_range_m, phy.interference_range_m));
+    if (!(radius > 0.0)) throw std::invalid_argument("plan_shards: conflict radius must be > 0");
+
+    // Spatial hash with cell size = conflict radius: any pair within the
+    // radius lives in the same or an adjacent cell, so uniting each node
+    // with in-radius nodes of its 3x3 neighborhood visits every conflict
+    // edge in O(n) expected time.
+    const auto cell_of = [radius](const phy::Position& p) {
+        return std::pair<std::int64_t, std::int64_t>(
+            static_cast<std::int64_t>(std::floor(p.x / radius)),
+            static_cast<std::int64_t>(std::floor(p.y / radius)));
+    };
+    std::map<std::pair<std::int64_t, std::int64_t>, std::vector<int>> cells;
+    for (int i = 0; i < n; ++i) cells[cell_of(positions[i])].push_back(i);
+
+    UnionFind components(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const auto [cx, cy] = cell_of(positions[i]);
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+            for (std::int64_t dy = -1; dy <= 1; ++dy) {
+                const auto neighbour = cells.find({cx + dx, cy + dy});
+                if (neighbour == cells.end()) continue;
+                for (int j : neighbour->second) {
+                    if (j <= i) continue;  // each pair once
+                    if (phy::distance(positions[i], positions[j]) <= radius)
+                        components.unite(i, j);
+                }
+            }
+        }
+    }
+
+    // Collect components as (min node id, size), ordered by min id.
+    std::map<int, std::pair<int, int>> by_root;  // root -> {min id, size}
+    for (int i = 0; i < n; ++i) {
+        const int root = components.find(i);
+        auto [it, inserted] = by_root.emplace(root, std::pair<int, int>{i, 0});
+        it->second.first = std::min(it->second.first, i);
+        ++it->second.second;
+    }
+    struct Component {
+        int min_id;
+        int size;
+        int root;
+    };
+    std::vector<Component> comps;
+    comps.reserve(by_root.size());
+    for (const auto& [root, info] : by_root) comps.push_back({info.first, info.second, root});
+
+    const int shard_count = std::min<int>(max_shards, static_cast<int>(comps.size()));
+
+    // Greedy balanced packing: biggest components first (ties by min id
+    // for determinism), each into the currently lightest shard.
+    std::sort(comps.begin(), comps.end(), [](const Component& a, const Component& b) {
+        if (a.size != b.size) return a.size > b.size;
+        return a.min_id < b.min_id;
+    });
+    std::vector<std::int64_t> load(static_cast<std::size_t>(shard_count), 0);
+    std::vector<int> shard_of_root_raw(static_cast<std::size_t>(n), -1);
+    for (const Component& comp : comps) {
+        int lightest = 0;
+        for (int s = 1; s < shard_count; ++s)
+            if (load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(lightest)])
+                lightest = s;
+        load[static_cast<std::size_t>(lightest)] += comp.size;
+        shard_of_root_raw[static_cast<std::size_t>(comp.root)] = lightest;
+    }
+
+    // Relabel shards by ascending minimum node id so the result does not
+    // depend on the packing visit order.
+    std::vector<int> min_id_of_shard(static_cast<std::size_t>(shard_count),
+                                     std::numeric_limits<int>::max());
+    for (int i = 0; i < n; ++i) {
+        const int raw = shard_of_root_raw[static_cast<std::size_t>(components.find(i))];
+        min_id_of_shard[static_cast<std::size_t>(raw)] =
+            std::min(min_id_of_shard[static_cast<std::size_t>(raw)], i);
+    }
+    std::vector<int> rank(static_cast<std::size_t>(shard_count));
+    for (int s = 0; s < shard_count; ++s) rank[static_cast<std::size_t>(s)] = s;
+    std::sort(rank.begin(), rank.end(), [&](int a, int b) {
+        return min_id_of_shard[static_cast<std::size_t>(a)] <
+               min_id_of_shard[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> relabel(static_cast<std::size_t>(shard_count));
+    for (int s = 0; s < shard_count; ++s)
+        relabel[static_cast<std::size_t>(rank[static_cast<std::size_t>(s)])] = s;
+
+    plan.shard_count = shard_count;
+    plan.shard_of_node.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const int raw = shard_of_root_raw[static_cast<std::size_t>(components.find(i))];
+        plan.shard_of_node[static_cast<std::size_t>(i)] = relabel[static_cast<std::size_t>(raw)];
+    }
+    return plan;
+}
+
+}  // namespace ezflow::net

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "net/shard_plan.h"
 #include "util/rng.h"
 
 namespace ezflow::net {
@@ -20,11 +22,16 @@ int spread_index(int i, int count, int extent)
     return std::min(index, extent - 1);
 }
 
-/// Instantiate a planned topology as a live Network + labels.
+/// Instantiate a planned topology as a live Network + labels. When the
+/// config allows more than one shard, the planner partitions the layout
+/// along the radio conflict graph before construction (a connected
+/// topology still collapses to a single shard — the serial reference).
 Scenario instantiate(const Topology& topo, Network::Config config)
 {
+    if (config.max_shards > 1 && config.shard_plan.empty())
+        config.shard_plan = plan_shards(topo.positions, config.phy, config.max_shards);
     Scenario scenario;
-    scenario.network = std::make_unique<Network>(config);
+    scenario.network = std::make_unique<Network>(std::move(config));
     for (int i = 0; i < topo.node_count(); ++i) {
         const NodeId id = scenario.network->add_node(topo.positions[static_cast<std::size_t>(i)]);
         scenario.labels[id] = "N" + std::to_string(id);
@@ -39,7 +46,24 @@ Network::Config grid_config(const GridSpec& spec, std::uint64_t seed)
     if (spec.cs_range_m > 0) config.phy.cs_range_m = spec.cs_range_m;
     if (spec.interference_range_m > 0)
         config.phy.interference_range_m = spec.interference_range_m;
+    config.max_shards = spec.max_shards;
     return config;
+}
+
+/// Convergecast source candidates: the far row and far column (the rim
+/// opposite the gateway at node 0), farthest-first so small source
+/// counts pick the deep corner region. Local (single-grid) node ids.
+std::vector<NodeId> convergecast_rim(int cols, int rows)
+{
+    std::vector<NodeId> rim;
+    for (int c = cols - 1; c >= 0; --c) rim.push_back((rows - 1) * cols + c);
+    for (int r = rows - 2; r >= 1; --r) rim.push_back(r * cols + (cols - 1));
+    std::stable_sort(rim.begin(), rim.end(), [cols](NodeId a, NodeId b) {
+        const int da = a / cols + a % cols;
+        const int db = b / cols + b % cols;
+        return da > db;
+    });
+    return rim;
 }
 
 void add_planned_flow(Scenario& scenario, int flow_id, std::vector<NodeId> path, double start_s,
@@ -228,17 +252,7 @@ Scenario make_grid_convergecast(const GridSpec& spec, std::uint64_t seed)
         throw std::invalid_argument("make_grid_convergecast: need at least a 2x2 grid");
     const Topology topo = make_grid_topology(spec.cols, spec.rows, spec.spacing_m);
 
-    // Source candidates: the far row and far column (the rim opposite the
-    // gateway at node 0), farthest-first so small source counts pick the
-    // deep corner region.
-    std::vector<NodeId> rim;
-    for (int c = spec.cols - 1; c >= 0; --c) rim.push_back((spec.rows - 1) * spec.cols + c);
-    for (int r = spec.rows - 2; r >= 1; --r) rim.push_back(r * spec.cols + (spec.cols - 1));
-    std::stable_sort(rim.begin(), rim.end(), [&spec](NodeId a, NodeId b) {
-        const int da = a / spec.cols + a % spec.cols;
-        const int db = b / spec.cols + b % spec.cols;
-        return da > db;
-    });
+    const std::vector<NodeId> rim = convergecast_rim(spec.cols, spec.rows);
     if (spec.sources < 1 || spec.sources > static_cast<int>(rim.size()))
         throw std::invalid_argument("make_grid_convergecast: bad source count");
 
@@ -275,6 +289,7 @@ Scenario make_random_mesh(const MeshSpec& spec, std::uint64_t seed)
     if (spec.flows < 1) throw std::invalid_argument("make_random_mesh: need >= 1 flow");
     const std::uint64_t topo_seed = spec.topo_seed != 0 ? spec.topo_seed : seed;
     Network::Config config = default_config(seed);
+    config.max_shards = spec.max_shards;
     const Topology topo = make_random_topology(spec.nodes, spec.width_m, spec.height_m,
                                                config.phy.tx_range_m, topo_seed);
     Scenario scenario = instantiate(topo, config);
@@ -298,6 +313,52 @@ Scenario make_random_mesh(const MeshSpec& spec, std::uint64_t seed)
     }
     if (placed < spec.flows)
         throw std::runtime_error("make_random_mesh: could not place the requested flows");
+    return scenario;
+}
+
+Scenario make_islands(const IslandsSpec& spec, std::uint64_t seed)
+{
+    if (spec.islands < 1) throw std::invalid_argument("make_islands: need >= 1 island");
+    if (spec.cols < 2 || spec.rows < 2)
+        throw std::invalid_argument("make_islands: need at least 2x2 islands");
+    Network::Config config = default_config(seed);
+    config.max_shards = spec.max_shards;
+    const double conflict_radius =
+        std::max(config.phy.tx_range_m,
+                 std::max(config.phy.cs_range_m, config.phy.interference_range_m));
+    if (spec.gap_m <= conflict_radius)
+        throw std::invalid_argument(
+            "make_islands: gap must exceed the radio conflict radius (islands would merge)");
+
+    // One island's local plan, replicated at increasing x offsets.
+    const Topology island = make_grid_topology(spec.cols, spec.rows, spec.spacing_m);
+    const std::vector<NodeId> rim = convergecast_rim(spec.cols, spec.rows);
+    if (spec.sources < 1 || spec.sources > static_cast<int>(rim.size()))
+        throw std::invalid_argument("make_islands: bad source count");
+    const int per_island = island.node_count();
+    const double island_width = (spec.cols - 1) * spec.spacing_m;
+
+    Topology topo;
+    topo.positions.reserve(static_cast<std::size_t>(per_island) *
+                           static_cast<std::size_t>(spec.islands));
+    for (int k = 0; k < spec.islands; ++k) {
+        const double offset = k * (island_width + spec.gap_m);
+        for (const phy::Position& p : island.positions)
+            topo.positions.push_back(phy::Position{p.x + offset, p.y});
+    }
+    rebuild_links(topo);  // gap > link range: no cross-island links
+
+    Scenario scenario = instantiate(topo, std::move(config));
+    for (int k = 0; k < spec.islands; ++k) {
+        const NodeId base = k * per_island;
+        for (int i = 0; i < spec.sources; ++i) {
+            std::vector<NodeId> path =
+                shortest_path(island, rim[static_cast<std::size_t>(i)], 0);
+            for (NodeId& n : path) n += base;
+            add_planned_flow(scenario, k * spec.sources + i + 1, std::move(path), spec.start_s,
+                             spec.duration_s);
+        }
+    }
     return scenario;
 }
 

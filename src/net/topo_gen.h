@@ -67,6 +67,10 @@ struct GridSpec {
     int sources = 4;
     double start_s = 5.0;
     double duration_s = 60.0;
+    /// Upper bound for the shard planner (plan_shards). A connected grid
+    /// always collapses to one shard; the bound only matters for
+    /// disconnected layouts.
+    int max_shards = 1;
 };
 
 /// Cross-traffic grid: flow i (ids 1..cross_flows) runs straight along a
@@ -98,11 +102,37 @@ struct MeshSpec {
     std::uint64_t topo_seed = 0;
     double start_s = 5.0;
     double duration_s = 60.0;
+    /// Upper bound for the shard planner (a connected mesh collapses to
+    /// one shard; see GridSpec::max_shards).
+    int max_shards = 1;
 };
 
 /// Seeded random mesh: a connected uniform scatter plus `flows` random
 /// multi-hop flows (ids 1..flows) routed shortest-path. Deterministic in
 /// (spec, seed).
 Scenario make_random_mesh(const MeshSpec& spec, std::uint64_t seed);
+
+/// Parameters for the disconnected-islands scenario: `islands` identical
+/// cols x rows grids laid out along the x axis, separated by `gap_m`
+/// (which must exceed the radio conflict radius so the islands are
+/// provably independent — the shard planner's best case). Each island
+/// runs its own convergecast: `sources` rim nodes route to the island's
+/// local gateway (its lowest node id). Node ids are island-major; flow
+/// ids are island-major 1..islands*sources.
+struct IslandsSpec {
+    int islands = 4;
+    int cols = 4;
+    int rows = 4;
+    double spacing_m = 200.0;
+    int sources = 2;
+    double gap_m = 2000.0;
+    double start_s = 5.0;
+    double duration_s = 30.0;
+    int max_shards = 1;
+};
+
+/// Disconnected islands of convergecast traffic — the space-parallel
+/// benchmark topology (each island is a shard when max_shards allows).
+Scenario make_islands(const IslandsSpec& spec, std::uint64_t seed);
 
 }  // namespace ezflow::net

@@ -6,12 +6,19 @@ namespace ezflow::traffic {
 
 Sink::Sink(net::Network& network) : network_(network) {}
 
+void Sink::set_streaming(bool on)
+{
+    if (!flows_.empty()) throw std::logic_error("Sink::set_streaming: flows already attached");
+    streaming_ = on;
+}
+
 void Sink::attach_flow(int flow_id)
 {
     if (flows_.count(flow_id) > 0) throw std::invalid_argument("Sink::attach_flow: already attached");
     flows_[flow_id];  // default-construct the record
-    arrivals_[flow_id];
+    if (!streaming_) arrivals_[flow_id];
     const auto& path = network_.routing().path(flow_id);
+    schedulers_[flow_id] = &network_.scheduler_for(path.back());
     net::Node& dst = network_.node(path.back());
     // Several flows can terminate at the same node; the callback filters
     // on the flow id this attach call registered.
@@ -23,7 +30,7 @@ void Sink::attach_flow(int flow_id)
 void Sink::on_delivery(int flow_id, const net::Packet& packet)
 {
     FlowRecord& record = flows_.at(flow_id);
-    const SimTime now = network_.now();
+    const SimTime now = schedulers_.at(flow_id)->now();
     const auto seq = static_cast<std::int64_t>(packet.seq);
     if (seq <= record.max_seq_seen) {
         // Either a duplicate (lost ACK path) or reordering; with FIFO
@@ -40,8 +47,10 @@ void Sink::on_delivery(int flow_id, const net::Packet& packet)
     const auto delay = static_cast<double>(now - network_start);
     record.delay_us.add(delay);
     record.total_delay_us.add(static_cast<double>(now - packet.created_at));
-    record.delay_series.add(now, delay);
-    arrivals_.at(flow_id).add(now, static_cast<double>(packet.bytes) * 8.0);
+    if (!streaming_) {
+        record.delay_series.add(now, delay);
+        arrivals_.at(flow_id).add(now, static_cast<double>(packet.bytes) * 8.0);
+    }
 }
 
 const Sink::FlowRecord& Sink::flow(int flow_id) const
@@ -53,6 +62,8 @@ const Sink::FlowRecord& Sink::flow(int flow_id) const
 
 double Sink::goodput_kbps(int flow_id, SimTime from, SimTime to) const
 {
+    if (streaming_)
+        throw std::logic_error("Sink::goodput_kbps: no arrival log in streaming mode");
     const auto it = arrivals_.find(flow_id);
     if (it == arrivals_.end()) throw std::invalid_argument("Sink::goodput_kbps: unknown flow");
     if (to <= from) return 0.0;
@@ -66,4 +77,13 @@ double Sink::goodput_kbps(int flow_id, SimTime from, SimTime to) const
     return util::kbps(static_cast<std::int64_t>(bits), to - from);
 }
 
+std::size_t Sink::stored_samples() const
+{
+    std::size_t total = 0;
+    for (const auto& [flow, record] : flows_) total += record.delay_series.size();
+    for (const auto& [flow, log] : arrivals_) total += log.size();
+    return total;
+}
+
 }  // namespace ezflow::traffic
+

@@ -39,6 +39,13 @@ public:
     Sink(const Sink&) = delete;
     Sink& operator=(const Sink&) = delete;
 
+    /// Streaming mode: keep only the whole-run RunningStats per flow —
+    /// no delay series, no arrival log — so sink memory is O(flows)
+    /// regardless of run length. Windowed queries (goodput_kbps, the
+    /// delay_series) are unavailable. Set before attaching flows.
+    void set_streaming(bool on);
+    bool streaming() const { return streaming_; }
+
     /// Attach this sink to the destination node of `flow_id`.
     void attach_flow(int flow_id);
 
@@ -46,14 +53,23 @@ public:
     const FlowRecord& flow(int flow_id) const;
 
     /// Total goodput of a flow over [from, to) in kb/s, computed from the
-    /// per-packet arrival log.
+    /// per-packet arrival log. Throws in streaming mode (no log).
     double goodput_kbps(int flow_id, SimTime from, SimTime to) const;
+
+    /// Stored per-event samples across all flows (delay series + arrival
+    /// logs); stays 0 in streaming mode — the flat-memory assertion of
+    /// the islands benchmark.
+    std::size_t stored_samples() const;
 
 private:
     void on_delivery(int flow_id, const net::Packet& packet);
 
     net::Network& network_;
+    bool streaming_ = false;
     std::map<int, FlowRecord> flows_;
+    /// The destination node's shard scheduler per flow: delivery
+    /// timestamps are shard-local.
+    std::map<int, sim::Scheduler*> schedulers_;
     /// Arrival log per flow: (time, bits) — kept to window throughput.
     std::map<int, util::TimeSeries> arrivals_;
 };

@@ -14,6 +14,7 @@ Source::Source(net::Network& network, int flow_id, int payload_bytes)
     const auto& path = network.routing().path(flow_id);
     src_node_ = path.front();
     dst_node_ = path.back();
+    scheduler_ = &network.scheduler_for(src_node_);
     // Partition the uid space per flow so packet uids stay globally unique.
     next_uid_base_ = static_cast<std::uint64_t>(flow_id + 1) << 40;
 }
@@ -29,9 +30,9 @@ void Source::activate(SimTime start, SimTime stop)
     if (stop <= start) throw std::invalid_argument("Source::activate: empty active period");
     activated_ = true;
     stop_at_ = stop;
-    chain_scheduled_at_ = network_.now();
+    chain_scheduled_at_ = scheduler_->now();
     next_emit_at_ = start;
-    network_.scheduler().schedule_at(start, [this] { emit(); });
+    scheduler_->schedule_at(start, [this] { emit(); });
 }
 
 bool Source::boundary_emit_fires_first() const
@@ -43,7 +44,7 @@ bool Source::boundary_emit_fires_first() const
     // Outside event execution (after run_until drained the instant)
     // every same-instant event has fired, so the boundary is always
     // included.
-    const SimTime running = network_.scheduler().current_event_scheduled_at();
+    const SimTime running = scheduler_->current_event_scheduled_at();
     if (running < 0) return true;
     if (chain_scheduled_at_ != running) return chain_scheduled_at_ < running;
     // Scheduled at the same instant: exact when the chain event was real
@@ -55,7 +56,7 @@ bool Source::boundary_emit_fires_first() const
     // is unknowable; treat the chain as first, matching the common case
     // of chains armed before the interleaving event.
     if (virtual_chain_seq_ != kUnknownSeq)
-        return virtual_chain_seq_ <= network_.scheduler().current_event_seq();
+        return virtual_chain_seq_ <= scheduler_->current_event_seq();
     return true;
 }
 
@@ -68,8 +69,8 @@ void Source::set_backpressure_gating(bool enabled)
         // (instants already due are settled first, exactly as a vacancy
         // would have).
         leave_gate();
-        if (settle(network_.now(), boundary_emit_fires_first()))
-            network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
+        if (settle(scheduler_->now(), boundary_emit_fires_first()))
+            scheduler_->schedule_at(next_emit_at_, [this] { emit(); });
     }
 }
 
@@ -77,13 +78,13 @@ const Source::Stats& Source::stats()
 {
     // While gated there are no emit events; bring the closed-form
     // accounting up to date so readers see the reference counters.
-    if (gated_) settle(network_.now(), boundary_emit_fires_first());
+    if (gated_) settle(scheduler_->now(), boundary_emit_fires_first());
     return stats_;
 }
 
 void Source::emit()
 {
-    if (network_.now() >= stop_at_) {
+    if (scheduler_->now() >= stop_at_) {
         chain_dead_ = true;
         return;
     }
@@ -96,7 +97,7 @@ void Source::emit()
     packet.dst = dst_node_;
     packet.bytes = payload_bytes_;
     packet.checksum = net::packet_checksum(flow_id_, packet.seq, src_node_, dst_node_, payload_bytes_);
-    packet.created_at = network_.now();
+    packet.created_at = scheduler_->now();
 
     ++stats_.generated;
     const bool accepted = network_.node(src_node_).send(std::move(packet));
@@ -106,8 +107,8 @@ void Source::emit()
         ++stats_.dropped_at_source;
 
     const SimTime gap = std::max<SimTime>(1, next_interval());
-    chain_scheduled_at_ = network_.now();
-    next_emit_at_ = network_.now() + gap;
+    chain_scheduled_at_ = scheduler_->now();
+    next_emit_at_ = scheduler_->now() + gap;
 
     if (!accepted && gating_enabled_) {
         // The own-traffic queue is full (a failed send means the MAC
@@ -118,12 +119,12 @@ void Source::emit()
         // right here, so an exact same-instant FIFO tie against the
         // never-materialized emit event stays decidable.
         if (mac::MacQueue* queue = network_.node(src_node_).own_traffic_queue(flow_id_)) {
-            virtual_chain_seq_ = network_.scheduler().next_event_seq();
+            virtual_chain_seq_ = scheduler_->next_event_seq();
             enter_gate(*queue);
             return;
         }
     }
-    network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
+    scheduler_->schedule_at(next_emit_at_, [this] { emit(); });
 }
 
 void Source::enter_gate(mac::MacQueue& queue)
@@ -180,7 +181,7 @@ Source::Resume Source::vacancy_prepare()
     // (virtual) emit event was scheduled no later than the popping event
     // (scheduler FIFO among same-instant events; see
     // boundary_emit_fires_first for the equal-instant caveat).
-    if (!settle(network_.now(), boundary_emit_fires_first())) {
+    if (!settle(scheduler_->now(), boundary_emit_fires_first())) {
         gate_queue_ = nullptr;
         return Resume{};
     }
@@ -190,7 +191,7 @@ Source::Resume Source::vacancy_prepare()
 void Source::vacancy_commit()
 {
     gate_queue_ = nullptr;
-    network_.scheduler().schedule_at(next_emit_at_, [this] { emit(); });
+    scheduler_->schedule_at(next_emit_at_, [this] { emit(); });
 }
 
 CbrSource::CbrSource(net::Network& network, int flow_id, int payload_bytes, double rate_bps)

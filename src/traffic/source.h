@@ -106,6 +106,9 @@ private:
     void vacancy_commit() override;
 
     net::Network& network_;
+    /// The source node's shard scheduler: emissions are events of the
+    /// shard that owns the source node, never of shard 0.
+    sim::Scheduler* scheduler_ = nullptr;
     int flow_id_;
     int payload_bytes_;
     net::NodeId src_node_;

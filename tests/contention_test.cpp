@@ -249,6 +249,49 @@ private:
     sim::Timer difs_timer_;
 };
 
+/// The fused registration: a single register_access covers the DIFS wait
+/// and the backoff countdown, exactly as DcfMac wires it post-fusion.
+/// Note there is no DIFS timer at all — one scheduler insert per cycle.
+class FusedStation final : public StationBase, public BackoffClient {
+public:
+    FusedStation(int id, sim::Scheduler& scheduler, Medium& medium,
+                 ContentionCoordinator& coordinator, std::uint64_t rng_seed, int cw,
+                 SimTime airtime, std::vector<int> visible_to, std::vector<TxRecord>& log)
+        : StationBase(id, scheduler, medium, rng_seed, cw, airtime, std::move(visible_to), log),
+          coordinator_(coordinator)
+    {
+    }
+
+    ~FusedStation() override { coordinator_.unregister(*this); }
+
+    void medium_changed(bool busy) override
+    {
+        if (busy) {
+            if (state_ == State::kBackoff) {  // contending: DIFS + backoff fused
+                remaining_ -= coordinator_.freeze(*this);
+                state_ = State::kWaitIdle;
+            }
+            return;
+        }
+        if (state_ == State::kWaitIdle) start_difs();
+    }
+
+    void backoff_expired() override
+    {
+        remaining_ = 0;
+        transmit();
+    }
+
+private:
+    void start_difs() override
+    {
+        state_ = State::kBackoff;
+        coordinator_.register_access(*this, kDifs, remaining_, kSlot);
+    }
+
+    ContentionCoordinator& coordinator_;
+};
+
 struct BusyInterval {
     SimTime start;
     SimTime end;
@@ -311,23 +354,29 @@ struct TraceOutcome {
     std::uint64_t events = 0;               ///< scheduler events processed
 };
 
+enum class Impl { kPerSlot, kBatched, kFused };
+
 /// Run the trace on one implementation. Members are declared so that
 /// stations are destroyed before the coordinator, and both before the
 /// scheduler their timers reference.
-TraceOutcome run_trace(const TraceSpec& spec, bool batched)
+TraceOutcome run_trace(const TraceSpec& spec, Impl impl)
 {
     sim::Scheduler scheduler;
     Medium medium;
     std::unique_ptr<ContentionCoordinator> coordinator;
     std::vector<std::unique_ptr<StationBase>> stations;
     TraceOutcome outcome;
-    if (batched) coordinator = std::make_unique<ContentionCoordinator>(scheduler);
+    if (impl != Impl::kPerSlot) coordinator = std::make_unique<ContentionCoordinator>(scheduler);
     const int n = static_cast<int>(spec.cw.size());
     for (int i = 0; i < n; ++i) {
         const auto index = static_cast<std::size_t>(i);
         const std::uint64_t rng_seed = 1000 + static_cast<std::uint64_t>(i);
-        if (batched) {
+        if (impl == Impl::kBatched) {
             stations.push_back(std::make_unique<BatchedStation>(
+                i, scheduler, medium, *coordinator, rng_seed, spec.cw[index],
+                spec.airtime[index], spec.visible_to[index], outcome.log));
+        } else if (impl == Impl::kFused) {
+            stations.push_back(std::make_unique<FusedStation>(
                 i, scheduler, medium, *coordinator, rng_seed, spec.cw[index],
                 spec.airtime[index], spec.visible_to[index], outcome.log));
         } else {
@@ -373,20 +422,33 @@ TraceOutcome run_trace(const TraceSpec& spec, bool batched)
 
 TEST(ContentionEquivalence, RandomizedBusyIdleTraces)
 {
+    std::uint64_t batched_events = 0;
+    std::uint64_t fused_events = 0;
     for (std::uint64_t seed = 1; seed <= 40; ++seed) {
         const TraceSpec spec = make_trace(seed, 2 + static_cast<int>(seed % 4));
-        const TraceOutcome reference = run_trace(spec, /*batched=*/false);
-        const TraceOutcome batched = run_trace(spec, /*batched=*/true);
+        const TraceOutcome reference = run_trace(spec, Impl::kPerSlot);
+        const TraceOutcome batched = run_trace(spec, Impl::kBatched);
+        const TraceOutcome fused = run_trace(spec, Impl::kFused);
         ASSERT_FALSE(reference.log.empty()) << "trace " << seed << " produced no transmissions";
         ASSERT_EQ(reference.log.size(), batched.log.size()) << "trace " << seed;
+        ASSERT_EQ(reference.log.size(), fused.log.size()) << "trace " << seed;
         for (std::size_t i = 0; i < reference.log.size(); ++i) {
             ASSERT_EQ(reference.log[i].at, batched.log[i].at) << "trace " << seed << " tx " << i;
             ASSERT_EQ(reference.log[i].station, batched.log[i].station)
                 << "trace " << seed << " tx " << i;
+            ASSERT_EQ(reference.log[i].at, fused.log[i].at) << "trace " << seed << " tx " << i;
+            ASSERT_EQ(reference.log[i].station, fused.log[i].station)
+                << "trace " << seed << " tx " << i;
         }
         // Identical Rng consumption: the next raw draw matches per station.
         ASSERT_EQ(reference.rng_probes, batched.rng_probes) << "trace " << seed;
+        ASSERT_EQ(reference.rng_probes, fused.rng_probes) << "trace " << seed;
+        batched_events += batched.events;
+        fused_events += fused.events;
     }
+    // The fused registration drops the separate DIFS timer: one fewer
+    // scheduler insert per contention cycle than the batched API.
+    EXPECT_LT(fused_events, batched_events);
 }
 
 TEST(ContentionEquivalence, EventCountCollapses)
@@ -395,8 +457,8 @@ TEST(ContentionEquivalence, EventCountCollapses)
     // batched coordinator.
     TraceSpec spec = make_trace(99, 4);
     for (auto& cw : spec.cw) cw = 1024;
-    const TraceOutcome reference = run_trace(spec, /*batched=*/false);
-    const TraceOutcome batched = run_trace(spec, /*batched=*/true);
+    const TraceOutcome reference = run_trace(spec, Impl::kPerSlot);
+    const TraceOutcome batched = run_trace(spec, Impl::kFused);
     ASSERT_EQ(reference.log, batched.log);
     EXPECT_GT(reference.events, 3 * batched.events)
         << "per-slot " << reference.events << " events vs batched " << batched.events;
@@ -569,6 +631,132 @@ TEST(ContentionCoordinator, RegistrationErrors)
     coordinator.unregister(client);
     EXPECT_FALSE(coordinator.is_registered(client));
     EXPECT_THROW(coordinator.end_external_tx(), std::logic_error);
+}
+
+// ------------------------------------------- fused register_access tests
+
+TEST(ContentionCoordinator, FusedImmediateAccessFiresAtDifsEnd)
+{
+    // Zero backoff: the per-slot reference transmits inside its DIFS-end
+    // event; the fused registration fires at exactly that instant.
+    sim::Scheduler scheduler;
+    ContentionCoordinator coordinator(scheduler);
+    ProbeClient client;
+    std::vector<SimTime> fired;
+    client.fired_at = &fired;
+    client.scheduler = &scheduler;
+    coordinator.register_access(client, kDifs, 0, kSlot);
+    scheduler.run();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], kDifs);
+}
+
+TEST(ContentionCoordinator, FusedExpiryMatchesPerSlotInstant)
+{
+    // b slots: DIFS-end decrement plus b-1 boundary decrements, transmit
+    // at now + difs + b*slot — the per-slot reference's instant.
+    sim::Scheduler scheduler;
+    ContentionCoordinator coordinator(scheduler);
+    ProbeClient client;
+    std::vector<SimTime> fired;
+    client.fired_at = &fired;
+    client.scheduler = &scheduler;
+    coordinator.register_access(client, kDifs, 5, kSlot);
+    scheduler.run();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], kDifs + 5 * kSlot);
+}
+
+TEST(ContentionCoordinator, FusedFreezeInsideDifsConsumesNothing)
+{
+    sim::Scheduler scheduler;
+    ContentionCoordinator coordinator(scheduler);
+    ProbeClient client;
+    coordinator.register_access(client, kDifs, 7, kSlot);
+    scheduler.run_until(kDifs - 1);
+    EXPECT_EQ(coordinator.freeze(client), 0);
+    EXPECT_FALSE(coordinator.is_registered(client));
+}
+
+TEST(ContentionCoordinator, FusedFreezeAtDifsEndHonorsTieOrder)
+{
+    // Exactly at DIFS end, the first decrement happened only when the
+    // DIFS event beat the interrupting transmission in FIFO order: a
+    // SIFS-timed (late) interrupter loses to it, an early-armed one wins.
+    for (const bool late : {false, true}) {
+        sim::Scheduler scheduler;
+        ContentionCoordinator coordinator(scheduler);
+        ProbeClient client;
+        coordinator.register_access(client, kDifs, 7, kSlot);
+        scheduler.run_until(kDifs);
+        coordinator.begin_external_tx(late);
+        EXPECT_EQ(coordinator.freeze(client), late ? 1 : 0);
+        coordinator.end_external_tx();
+    }
+}
+
+TEST(ContentionCoordinator, FusedFreezeCountsDifsEndDecrement)
+{
+    // Freeze D microseconds into the backoff: the DIFS-end decrement plus
+    // the whole boundaries since — identical to what the reference's
+    // immediate decrement + per-slot countdown would have consumed.
+    const struct {
+        SimTime at;
+        int consumed;
+    } cases[] = {
+        {kDifs + 1, 1},  {kDifs + kSlot - 1, 1}, {kDifs + kSlot + 1, 2},
+        {kDifs + 3 * kSlot + 5, 4},
+    };
+    for (const auto& test_case : cases) {
+        sim::Scheduler scheduler;
+        ContentionCoordinator coordinator(scheduler);
+        ProbeClient client;
+        coordinator.register_access(client, kDifs, 10, kSlot);
+        scheduler.run_until(test_case.at);
+        EXPECT_EQ(coordinator.freeze(client), test_case.consumed) << "at=" << test_case.at;
+    }
+}
+
+TEST(ContentionCoordinator, DifsPhasePrecedesBackoffPhaseAtSharedInstant)
+{
+    // a is deep in backoff with a boundary at t=90; d's DIFS ends at the
+    // same instant with a zero counter. d's pending event was armed a
+    // whole DIFS back — earlier than a's virtual slot re-arm — so d fires
+    // first and a, frozen by d's transmission exactly on its boundary,
+    // loses that boundary's decrement (boundaries 60, 80 only... a
+    // registered at t=0 via register_access: decrements at 50, 70, 90;
+    // the one at 90 is lost, so 2 remain consumed).
+    sim::Scheduler scheduler;
+    ContentionCoordinator coordinator(scheduler);
+    ProbeClient a;
+    ProbeClient d;
+    std::vector<const ProbeClient*> order;
+    a.order = &order;
+    d.order = &order;
+    int a_consumed = -1;
+    d.on_fire = [&] { a_consumed = coordinator.freeze(a); };
+    coordinator.register_access(a, kDifs, 10, kSlot);  // boundaries 50, 70, 90, ...
+    scheduler.run_until(40);
+    coordinator.register_access(d, kDifs, 0, kSlot);  // fires at 90
+    scheduler.run();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], &d);
+    EXPECT_EQ(a_consumed, 2);  // 50 and 70 fired; the tie at 90 went to d
+}
+
+TEST(ContentionCoordinator, FusedRegistrationErrors)
+{
+    sim::Scheduler scheduler;
+    ContentionCoordinator coordinator(scheduler);
+    ProbeClient client;
+    EXPECT_THROW(coordinator.register_access(client, kDifs, -1, kSlot), std::invalid_argument);
+    EXPECT_THROW(coordinator.register_access(client, kDifs, 1, 0), std::invalid_argument);
+    EXPECT_THROW(coordinator.register_access(client, kSlot, 1, kSlot), std::invalid_argument);
+    coordinator.register_access(client, kDifs, 1, kSlot);
+    EXPECT_THROW(coordinator.register_access(client, kDifs, 1, kSlot), std::logic_error);
+    EXPECT_THROW(coordinator.register_backoff(client, 1, kSlot), std::logic_error);
+    coordinator.unregister(client);
+    EXPECT_FALSE(coordinator.is_registered(client));
 }
 
 TEST(ContentionCoordinator, SlotsBatchedStatistic)

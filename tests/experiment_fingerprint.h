@@ -13,13 +13,17 @@
 
 namespace ezflow::testutil {
 
-inline std::vector<std::uint64_t> experiment_fingerprint(analysis::Experiment& experiment)
+/// `include_processed = false` drops the scheduler event count: shards=1
+/// vs shards=K runs differ in bookkeeping events (one tracer sweep chain
+/// per shard) while every radio/MAC/delivery counter stays identical.
+inline std::vector<std::uint64_t> experiment_fingerprint(analysis::Experiment& experiment,
+                                                         bool include_processed = true)
 {
     net::Network& network = experiment.network();
     std::vector<std::uint64_t> print;
-    print.push_back(network.channel().transmissions());
-    print.push_back(network.channel().data_transmissions());
-    print.push_back(network.scheduler().processed());
+    print.push_back(network.total_transmissions());
+    print.push_back(network.total_data_transmissions());
+    if (include_processed) print.push_back(network.total_processed());
     for (int id = 0; id < network.node_count(); ++id) {
         const net::Node& node = network.node(id);
         print.push_back(node.phy().frames_decoded());
