@@ -117,7 +117,9 @@ std::string scenario_name(const ScenarioSpec& spec)
     return out.str();
 }
 
-net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
+namespace {
+
+net::Scenario build_topology(const ScenarioSpec& spec, std::uint64_t seed)
 {
     switch (spec.kind) {
         case ScenarioSpec::Kind::kLine:
@@ -154,6 +156,17 @@ net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
         }
     }
     throw std::logic_error("build_scenario: unknown scenario kind");
+}
+
+}  // namespace
+
+net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
+{
+    net::Scenario scenario = build_topology(spec, seed);
+    // Model installation is applied after construction rather than threaded
+    // through every topology builder; a reference config is an exact no-op.
+    scenario.network->set_phy_models(spec.models);
+    return scenario;
 }
 
 }  // namespace ezflow::analysis

@@ -65,6 +65,12 @@ struct ScenarioSpec {
     /// scenarios, which are all single-component.
     int shards = 1;
 
+    /// PHY model selection applied to the built Network (propagation /
+    /// interference / rate, see phy::PhyModelConfig). The default is the
+    /// reference configuration — an exact no-op, so every pre-existing
+    /// spec is unaffected.
+    phy::PhyModelConfig models;
+
     static ScenarioSpec line(int hops, double duration_s);
     static ScenarioSpec testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
                                 double f2_stop_s);

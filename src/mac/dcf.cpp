@@ -154,6 +154,7 @@ SimTime DcfMac::current_data_airtime() const
 {
     phy::Frame data;
     data.type = phy::FrameType::kData;
+    data.bitrate_bps = current_rate_bps_;
     data.has_packet = true;
     data.packet = current_queue_->front();
     return phy_.channel_params().tx_duration(data);
@@ -161,6 +162,11 @@ SimTime DcfMac::current_data_airtime() const
 
 void DcfMac::start_exchange()
 {
+    // One rate decision per attempt (retries re-ask, so the manager can
+    // walk a failing link down); 0 = the fixed PHY default. The choice is
+    // cached so the RTS duration field and the data frame agree on the
+    // airtime.
+    current_rate_bps_ = phy_.data_bitrate_for(current_queue_->key().next_hop);
     if (params_.rts_cts_enabled && current_queue_->front().bytes >= params_.rts_threshold_bytes) {
         transmit_rts();
         return;
@@ -201,6 +207,7 @@ void DcfMac::transmit_data()
     frame.rx_node = current_queue_->key().next_hop;
     frame.mac_seq = current_seq_;
     frame.retry = retries_;
+    frame.bitrate_bps = current_rate_bps_;
     frame.has_packet = true;
     frame.packet = current_queue_->front();
     ++data_attempts_;
@@ -265,6 +272,7 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
             if (state_ == State::kWaitAck && frame.mac_seq == current_seq_ &&
                 frame.tx_node == current_queue_->key().next_hop) {
                 ack_timer_.cancel();
+                phy_.report_tx_result(frame.tx_node, /*success=*/true);
                 finish_current(/*success=*/true);
             }
             return;
@@ -351,6 +359,7 @@ void DcfMac::send_pending_control()
 void DcfMac::on_ack_timeout()
 {
     if (state_ != State::kWaitAck) throw std::logic_error("DcfMac::on_ack_timeout: bad state");
+    phy_.report_tx_result(current_queue_->key().next_hop, /*success=*/false);
     ++retries_;
     if (retries_ > params_.retry_limit) {
         ++retry_drops_;

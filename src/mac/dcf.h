@@ -157,6 +157,9 @@ private:
     int retries_ = 0;
     int backoff_remaining_ = 0;
     std::uint32_t current_seq_ = 0;
+    /// Rate of the in-flight attempt (0 = PHY default), chosen once per
+    /// attempt in start_exchange so RTS duration and data frame agree.
+    std::int64_t current_rate_bps_ = 0;
 
     sim::Timer ack_timer_;
     sim::Timer cts_timer_;

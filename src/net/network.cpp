@@ -15,6 +15,26 @@ Network::Network(Config config) : config_(std::move(config)), rng_(config_.seed)
     shards_.reserve(static_cast<std::size_t>(shard_count));
     for (int s = 0; s < shard_count; ++s)
         shards_.push_back(std::make_unique<Shard>(channel_root.fork(), config_.phy));
+    set_phy_models(config_.models);
+}
+
+void Network::set_phy_models(const phy::PhyModelConfig& models)
+{
+    if (reference_mode_.force_reference_models || models.is_reference()) return;
+    for (auto& shard : shards_) shard->channel.set_models(models, config_.seed);
+}
+
+void Network::set_reference_mode(const ReferenceModeFlags& flags)
+{
+    reference_mode_ = flags;
+    for (auto& shard : shards_) shard->channel.set_reachability_cull(flags.reachability_cull);
+    if (flags.force_reference_models) {
+        for (auto& shard : shards_) {
+            shard->channel.set_propagation_model(nullptr);
+            shard->channel.set_rate_manager(nullptr);
+            shard->channel.set_interference_mode(phy::PhyModelConfig::Interference::kReference);
+        }
+    }
 }
 
 NodeId Network::add_node(phy::Position position)

@@ -51,8 +51,10 @@ ShardPlan plan_shards(const std::vector<phy::Position>& positions, const phy::Ph
     ShardPlan plan;
     if (n == 0 || max_shards <= 1) return plan;  // empty plan: serial reference
 
-    const double radius =
-        std::max(phy.tx_range_m, std::max(phy.cs_range_m, phy.interference_range_m));
+    // The same bound the Channel's reachability cull and interference
+    // ledger use: beyond it a node contributes neither delivery, carrier
+    // sense, nor ledger energy, so cutting there is conflict-free.
+    const double radius = phy.conflict_radius_m();
     if (!(radius > 0.0)) throw std::invalid_argument("plan_shards: conflict radius must be > 0");
 
     // Spatial hash with cell size = conflict radius: any pair within the

@@ -20,24 +20,62 @@ void Channel::attach(NodePhy& phy)
     reach_.clear();  // topology grew: rebuild lazily on the next transmit
 }
 
+void Channel::set_models(const PhyModelConfig& config, std::uint64_t network_seed)
+{
+    if (config.is_reference()) return;  // exact no-op: golden-pinned path
+    set_propagation_model(make_propagation(config, network_seed));
+    set_rate_manager(make_rate_manager(config));
+    set_interference_mode(config.interference);
+    if (config.noise_floor_w >= 0.0) params_.noise_floor_w = config.noise_floor_w;
+}
+
+void Channel::set_propagation_model(std::unique_ptr<PropagationModel> model)
+{
+    propagation_ = std::move(model);
+    reach_.clear();  // power law changed: precomputed powers are stale
+}
+
+double Channel::link_power(net::NodeId tx, net::NodeId rx, double distance_m)
+{
+    if (propagation_ == nullptr) {
+        // Reference two-ray ground power (all scenario distances sit beyond
+        // the ~86 m crossover, so the d^-4 regime applies; the constant
+        // factor cancels in every capture-SIR comparison). Clamp tiny
+        // distances to keep the power finite for co-located nodes.
+        const double d_eff = std::max(distance_m, 1.0);
+        return 1.0 / (d_eff * d_eff * d_eff * d_eff);
+    }
+    return propagation_->link_power_w(tx, rx, 1.0, distance_m, scheduler_.now());
+}
+
+double Channel::frame_capture_threshold(const Frame& frame) const
+{
+    if (interference_ == PhyModelConfig::Interference::kReference)
+        return params_.capture_threshold;
+    // Cumulative-SINR mode: the frame must clear both the capture threshold
+    // and its modulation's decode floor, whichever is harsher.
+    const std::int64_t rate = frame.bitrate_bps > 0 ? frame.bitrate_bps : params_.bitrate_bps;
+    const double db = std::max(params_.capture_threshold_db, min_decode_snr_db(rate));
+    return std::pow(10.0, db / 10.0);
+}
+
 void Channel::ensure_reach()
 {
     if (reach_.size() == phys_.size()) return;
+    const bool static_power = propagation_ == nullptr || propagation_->time_invariant();
     reach_.assign(phys_.size(), {});
     for (std::size_t s = 0; s < phys_.size(); ++s) {
         const NodePhy& sender = *phys_[s];
         for (NodePhy* phy : phys_) {
             if (phy == &sender) continue;
             const double d = distance(sender.position(), phy->position());
-            if (d > params_.cs_range_m && d > params_.interference_range_m) continue;
-            // Two-ray ground power (all scenario distances sit beyond the
-            // ~86 m crossover, so the d^-4 regime applies; the constant
-            // factor cancels in every capture-SIR comparison). Clamp tiny
-            // distances to keep the power finite for co-located nodes.
-            const double d_eff = std::max(d, 1.0);
-            const double power_w = 1.0 / (d_eff * d_eff * d_eff * d_eff);
+            if (d > params_.conflict_radius_m()) continue;
+            // Time-variant propagation (fading) re-derives power at
+            // transmit time from the stored distance; otherwise the power
+            // is precomputed here, once per topology.
+            const double power_w = static_power ? link_power(sender.id(), phy->id(), d) : 0.0;
             reach_[s].push_back(
-                ReachEntry{phy, d <= params_.tx_range_m, d <= params_.cs_range_m, power_w});
+                ReachEntry{phy, d <= params_.tx_range_m, d <= params_.cs_range_m, power_w, d});
         }
     }
 }
@@ -51,60 +89,36 @@ std::size_t Channel::reachable_count(net::NodeId tx)
     return reach_[it->second].size();
 }
 
+void Channel::set_link_error_model(net::NodeId tx, net::NodeId rx,
+                                   std::unique_ptr<ErrorModel> model)
+{
+    if (model == nullptr)
+        throw std::invalid_argument("Channel::set_link_error_model: model required");
+    model->reset(scheduler_.now(), rng_);
+    error_models_.insert_or_assign(tx, rx, std::move(model));
+}
+
 void Channel::set_link_loss(net::NodeId tx, net::NodeId rx, double loss_probability)
 {
-    if (loss_probability < 0.0 || loss_probability > 1.0)
-        throw std::invalid_argument("Channel::set_link_loss: probability out of range");
-    link_loss_[{tx, rx}] = loss_probability;
+    set_link_error_model(tx, rx, std::make_unique<StaticLoss>(loss_probability));
 }
 
 double Channel::link_loss(net::NodeId tx, net::NodeId rx) const
 {
-    const auto it = link_loss_.find({tx, rx});
-    return it == link_loss_.end() ? 0.0 : it->second;
+    const auto* model = error_models_.find(tx, rx);
+    return model == nullptr ? 0.0 : (*model)->mean_loss();
 }
 
 void Channel::set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params)
 {
-    if (params.to_bad_per_s <= 0.0 || params.to_good_per_s <= 0.0)
-        throw std::invalid_argument("Channel::set_link_gilbert: rates must be > 0");
-    if (params.loss_good < 0.0 || params.loss_good > 1.0 || params.loss_bad < 0.0 ||
-        params.loss_bad > 1.0)
-        throw std::invalid_argument("Channel::set_link_gilbert: losses out of range");
-    GilbertState state;
-    state.params = params;
-    state.last_update = scheduler_.now();
-    // Start in the stationary distribution so measurements need no warmup.
-    state.bad = rng_.bernoulli(params.to_bad_per_s / (params.to_bad_per_s + params.to_good_per_s));
-    gilbert_[{tx, rx}] = state;
-    link_loss_.erase({tx, rx});
-}
-
-double Channel::gilbert_stationary_loss(const GilbertParams& params)
-{
-    const double pi_bad = params.to_bad_per_s / (params.to_bad_per_s + params.to_good_per_s);
-    return pi_bad * params.loss_bad + (1.0 - pi_bad) * params.loss_good;
+    set_link_error_model(tx, rx, make_gilbert(params));
 }
 
 double Channel::sample_link_loss(net::NodeId tx, net::NodeId rx)
 {
-    const auto it = gilbert_.find({tx, rx});
-    if (it == gilbert_.end()) return link_loss(tx, rx);
-    GilbertState& state = it->second;
-    // Exact two-state CTMC transition over the elapsed interval:
-    // P(state changed once net | dt) via the standard closed form.
-    const double dt = util::to_seconds(scheduler_.now() - state.last_update);
-    state.last_update = scheduler_.now();
-    if (dt > 0.0) {
-        const double lambda = state.params.to_bad_per_s;
-        const double mu = state.params.to_good_per_s;
-        const double pi_bad = lambda / (lambda + mu);
-        const double decay = std::exp(-(lambda + mu) * dt);
-        const double p_bad_now =
-            state.bad ? pi_bad + (1.0 - pi_bad) * decay : pi_bad * (1.0 - decay);
-        state.bad = rng_.bernoulli(p_bad_now);
-    }
-    return state.bad ? state.params.loss_bad : state.params.loss_good;
+    auto* model = error_models_.find(tx, rx);
+    if (model == nullptr) return 0.0;
+    return (*model)->loss_probability(scheduler_.now(), rng_);
 }
 
 void Channel::transmit(NodePhy& sender, Frame frame)
@@ -121,11 +135,22 @@ void Channel::transmit(NodePhy& sender, Frame frame)
     const FrameRef record = frame_pool_.make(std::move(frame));
     const Frame& shared = *record;
 
+    const bool sinr = interference_ == PhyModelConfig::Interference::kSinrLedger;
+    const double threshold = frame_capture_threshold(shared);
+    const double noise_w = sinr ? params_.noise_floor_w : 0.0;
+    const bool dynamic_power = propagation_ != nullptr && !propagation_->time_invariant();
+
     const auto deliver = [&](NodePhy* phy, bool in_delivery_range, bool sensed, double power_w) {
-        const bool lost =
-            in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
-        const bool decodable = in_delivery_range && !lost;
-        phy->signal_start(signal_id, shared, decodable, sensed, power_w);
+        RxEvent rx;
+        rx.signal_id = signal_id;
+        rx.frame = &shared;
+        rx.power_w = power_w;
+        rx.noise_w = noise_w;
+        rx.capture_threshold = threshold;
+        rx.in_delivery = in_delivery_range;
+        rx.sensed = sensed;
+        rx.error = in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
+        phy->signal_start(rx);
         scheduler_.schedule_in(
             duration, [phy, signal_id, ref = record] { phy->signal_end(signal_id, *ref); });
     };
@@ -135,8 +160,11 @@ void Channel::transmit(NodePhy& sender, Frame frame)
         const auto it = index_by_id_.find(sender.id());
         if (it == index_by_id_.end())
             throw std::logic_error("Channel::transmit: sender not attached");
-        for (const ReachEntry& r : reach_[it->second])
-            deliver(r.phy, r.in_delivery, r.sensed, r.power_w);
+        for (const ReachEntry& r : reach_[it->second]) {
+            const double power_w =
+                dynamic_power ? link_power(sender.id(), r.phy->id(), r.distance_m) : r.power_w;
+            deliver(r.phy, r.in_delivery, r.sensed, power_w);
+        }
     } else {
         // Reference full-broadcast scan. Identical per-receiver facts and
         // loss-roll order (attach order, delivery-range receivers only),
@@ -144,10 +172,9 @@ void Channel::transmit(NodePhy& sender, Frame frame)
         for (NodePhy* phy : phys_) {
             if (phy == &sender) continue;
             const double d = distance(sender.position(), phy->position());
-            if (d > params_.cs_range_m && d > params_.interference_range_m) continue;
-            const double d_eff = std::max(d, 1.0);
+            if (d > params_.conflict_radius_m()) continue;
             deliver(phy, d <= params_.tx_range_m, d <= params_.cs_range_m,
-                    1.0 / (d_eff * d_eff * d_eff * d_eff));
+                    link_power(sender.id(), phy->id(), d));
         }
     }
     scheduler_.schedule_in(duration,

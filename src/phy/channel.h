@@ -1,13 +1,16 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "phy/error_model.h"
 #include "phy/frame.h"
 #include "phy/frame_record.h"
+#include "phy/link_table.h"
+#include "phy/models.h"
 #include "phy/phy.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -16,17 +19,34 @@ namespace ezflow::phy {
 
 /// The shared wireless medium. Dispatches every transmission to the nodes
 /// within carrier-sense or interference range, decides decodability per
-/// receiver (delivery range + per-link loss roll) and schedules signal-end
-/// events. The channel never filters by MAC address — everyone in range
-/// hears everything, which is exactly the property EZ-Flow's BOE exploits.
+/// receiver (delivery range + per-link error model roll) and schedules
+/// signal-end events. The channel never filters by MAC address — everyone
+/// in range hears everything, which is exactly the property EZ-Flow's BOE
+/// exploits.
+///
+/// The physics is pluggable behind three model interfaces, installed via
+/// `set_models` / the individual setters:
+///  * PropagationModel — per-link received power; null means the inlined
+///    reference two-ray 1/d^4 (the golden-pinned fast path). Time-variant
+///    models (fading) are re-evaluated per transmission.
+///  * ErrorModel — per-directed-link loss process (`set_link_error_model`);
+///    the Gilbert–Elliott chain is one implementation, installed by the
+///    `make_gilbert` factory.
+///  * RateManager — per-link data bitrate selection, consulted by the MAC
+///    through NodePhy; null means the fixed PHY default.
+/// Interference semantics are selected by `PhyModelConfig::Interference`:
+/// the reference start-time capture against the linear threshold, or the
+/// cumulative-SINR ledger (capture_threshold_db + per-rate decode floors +
+/// noise floor).
 ///
 /// Node positions are fixed for the lifetime of a run (NodePhy has no
 /// position setter), so the per-transmitter reachability set — which
 /// receivers can sense or be interfered by it, with their precomputed
-/// two-ray powers — is static. Transmissions iterate only that culled
-/// neighbour list instead of every attached PHY, in attach order, and the
-/// per-link loss rolls are drawn for exactly the same receivers as the
-/// full broadcast would (out-of-range nodes never drew), so the Rng
+/// powers — is static (time-variant propagation stores the distance and
+/// re-derives power at transmit time). Transmissions iterate only that
+/// culled neighbour list instead of every attached PHY, in attach order,
+/// and the per-link loss rolls are drawn for exactly the same receivers as
+/// the full broadcast would (out-of-range nodes never drew), so the Rng
 /// stream and all outcomes are identical while per-transmission cost
 /// drops from O(nodes) to O(reachable neighbours).
 class Channel {
@@ -40,33 +60,66 @@ public:
     /// sets are rebuilt lazily after every attach.
     void attach(NodePhy& phy);
 
-    /// Frame-loss probability for the directed link tx -> rx. Models link
-    /// quality (distance, obstacles); used to calibrate the heterogeneous
-    /// testbed capacities of Table 1.
+    // --- pluggable models ---
+    /// Install the full model selection in one call. A reference config is
+    /// an exact no-op (models stay null, semantics stay the inlined
+    /// golden-pinned path). `network_seed` keys model-private randomness.
+    void set_models(const PhyModelConfig& config, std::uint64_t network_seed);
+
+    /// Propagation model for link powers; nullptr restores the inlined
+    /// reference two-ray expression.
+    void set_propagation_model(std::unique_ptr<PropagationModel> model);
+    /// Interference/capture semantics (reference vs cumulative SINR).
+    void set_interference_mode(PhyModelConfig::Interference mode) { interference_ = mode; }
+    PhyModelConfig::Interference interference_mode() const { return interference_; }
+    /// Rate manager consulted by MACs via NodePhy; nullptr = fixed default.
+    void set_rate_manager(std::unique_ptr<RateManager> manager)
+    {
+        rate_manager_ = std::move(manager);
+    }
+    RateManager* rate_manager() { return rate_manager_.get(); }
+
+    /// Install a frame error process on the directed link tx -> rx,
+    /// replacing any previous one. The model's `reset` hook runs
+    /// immediately against the channel clock and RNG (state machines draw
+    /// their initial state there).
+    void set_link_error_model(net::NodeId tx, net::NodeId rx, std::unique_ptr<ErrorModel> model);
+
+    /// Convenience: time-invariant loss probability for the directed link
+    /// tx -> rx (installs a StaticLoss model). Models link quality
+    /// (distance, obstacles); used to calibrate the heterogeneous testbed
+    /// capacities of Table 1.
     void set_link_loss(net::NodeId tx, net::NodeId rx, double loss_probability);
+    /// Long-run mean loss of the link's installed error model (0 if none).
     double link_loss(net::NodeId tx, net::NodeId rx) const;
 
-    /// Two-state Gilbert–Elliott bursty loss for the directed link
-    /// tx -> rx, replacing any static loss on that link: the link flips
-    /// between a good and a bad state as a continuous-time Markov chain
-    /// (rates per second) with a per-state frame loss probability. Models
-    /// the channel variability the paper cites as a reason the BOE must
-    /// tolerate missed sniffs.
-    struct GilbertParams {
-        double to_bad_per_s = 0.1;   ///< good -> bad transition rate
-        double to_good_per_s = 1.0;  ///< bad -> good transition rate
-        double loss_good = 0.0;
-        double loss_bad = 0.8;
-    };
-    void set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params);
+    /// Deprecated: install a Gilbert–Elliott process via
+    /// `set_link_error_model(tx, rx, make_gilbert(params))` instead.
+    using GilbertParams = phy::GilbertParams;
+    [[deprecated("use set_link_error_model(tx, rx, make_gilbert(params))")]] void
+    set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params);
 
     /// Stationary loss fraction of a Gilbert link (for tests/calibration).
-    static double gilbert_stationary_loss(const GilbertParams& params);
+    static double gilbert_stationary_loss(const GilbertParams& params)
+    {
+        return phy::gilbert_stationary_loss(params);
+    }
 
     /// Broadcast a frame from `sender`. Called by NodePhy::start_tx.
     /// Takes the frame by value: it is moved into a pooled FrameRecord
     /// shared by every receiver's signal-end event (single-copy fan-out).
     void transmit(NodePhy& sender, Frame frame);
+
+    /// Rate for the next data attempt on tx -> rx (0 = PHY default).
+    std::int64_t data_bitrate(net::NodeId tx, net::NodeId rx)
+    {
+        return rate_manager_ ? rate_manager_->bitrate_bps(tx, rx) : 0;
+    }
+    /// ACK verdict of the most recent attempt on tx -> rx.
+    void report_tx_result(net::NodeId tx, net::NodeId rx, bool success)
+    {
+        if (rate_manager_) rate_manager_->report(tx, rx, success);
+    }
 
     /// Disable (or re-enable) the reachability cull, falling back to the
     /// full-broadcast scan over every attached PHY. The outcomes are
@@ -87,22 +140,27 @@ public:
     const FramePool& frame_pool() const { return frame_pool_; }
 
 private:
-    struct GilbertState {
-        GilbertParams params;
-        bool bad = false;
-        util::SimTime last_update = 0;
-    };
-
-    /// Current loss probability of the link, evolving any Gilbert state.
+    /// Current loss probability of the link, evolving any stateful model.
     double sample_link_loss(net::NodeId tx, net::NodeId rx);
+
+    /// Received power on tx -> rx at distance d: the installed propagation
+    /// model, or the inlined reference two-ray 1/max(d,1)^4.
+    double link_power(net::NodeId tx, net::NodeId rx, double distance_m);
+
+    /// Linear SINR threshold a frame must clear at its receivers: the
+    /// reference linear capture threshold, or (SINR mode) the max of the
+    /// dB capture threshold and the frame rate's decode floor.
+    double frame_capture_threshold(const Frame& frame) const;
 
     /// One receiver a transmitter can affect, with the geometry-derived
     /// facts transmit() needs, precomputed once per topology.
     struct ReachEntry {
         NodePhy* phy;
-        bool in_delivery;  ///< within tx_range: decode + per-link loss roll
-        bool sensed;       ///< within cs_range: counts for energy detection
-        double power_w;    ///< two-ray received power (capture decisions)
+        bool in_delivery;   ///< within tx_range: decode + per-link loss roll
+        bool sensed;        ///< within cs_range: counts for energy detection
+        double power_w;     ///< received power (capture decisions); stale for
+                            ///< time-variant propagation — see distance_m
+        double distance_m;  ///< link distance, for time-variant re-evaluation
     };
 
     /// Rebuild the per-transmitter reachability sets when stale.
@@ -115,8 +173,10 @@ private:
     std::unordered_map<net::NodeId, std::size_t> index_by_id_;  ///< attach index per node id
     std::vector<std::vector<ReachEntry>> reach_;  ///< per transmitter, in attach order
     bool cull_enabled_ = true;
-    std::map<std::pair<net::NodeId, net::NodeId>, double> link_loss_;
-    std::map<std::pair<net::NodeId, net::NodeId>, GilbertState> gilbert_;
+    LinkTable<std::unique_ptr<ErrorModel>> error_models_;
+    std::unique_ptr<PropagationModel> propagation_;  ///< null = reference two-ray
+    std::unique_ptr<RateManager> rate_manager_;      ///< null = fixed default
+    PhyModelConfig::Interference interference_ = PhyModelConfig::Interference::kReference;
     FramePool frame_pool_;
     std::uint64_t next_signal_id_ = 1;
     std::uint64_t transmissions_ = 0;

@@ -1,0 +1,65 @@
+#include "phy/error_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ezflow::phy {
+
+double gilbert_stationary_loss(const GilbertParams& params)
+{
+    const double pi_bad = params.to_bad_per_s / (params.to_bad_per_s + params.to_good_per_s);
+    return pi_bad * params.loss_bad + (1.0 - pi_bad) * params.loss_good;
+}
+
+StaticLoss::StaticLoss(double loss_probability) : loss_(loss_probability)
+{
+    if (loss_probability < 0.0 || loss_probability > 1.0)
+        throw std::invalid_argument("StaticLoss: probability out of range");
+}
+
+double StaticLoss::loss_probability(util::SimTime now, util::Rng& rng)
+{
+    (void)now;
+    (void)rng;
+    return loss_;
+}
+
+GilbertElliott::GilbertElliott(GilbertParams params) : params_(params)
+{
+    if (params.to_bad_per_s <= 0.0 || params.to_good_per_s <= 0.0)
+        throw std::invalid_argument("GilbertElliott: rates must be > 0");
+    if (params.loss_good < 0.0 || params.loss_good > 1.0 || params.loss_bad < 0.0 ||
+        params.loss_bad > 1.0)
+        throw std::invalid_argument("GilbertElliott: losses out of range");
+}
+
+void GilbertElliott::reset(util::SimTime now, util::Rng& rng)
+{
+    last_update_ = now;
+    // Start in the stationary distribution so measurements need no warmup.
+    bad_ = rng.bernoulli(params_.to_bad_per_s / (params_.to_bad_per_s + params_.to_good_per_s));
+}
+
+double GilbertElliott::loss_probability(util::SimTime now, util::Rng& rng)
+{
+    // Exact two-state CTMC transition over the elapsed interval:
+    // P(state changed once net | dt) via the standard closed form.
+    const double dt = util::to_seconds(now - last_update_);
+    last_update_ = now;
+    if (dt > 0.0) {
+        const double lambda = params_.to_bad_per_s;
+        const double mu = params_.to_good_per_s;
+        const double pi_bad = lambda / (lambda + mu);
+        const double decay = std::exp(-(lambda + mu) * dt);
+        const double p_bad_now = bad_ ? pi_bad + (1.0 - pi_bad) * decay : pi_bad * (1.0 - decay);
+        bad_ = rng.bernoulli(p_bad_now);
+    }
+    return bad_ ? params_.loss_bad : params_.loss_good;
+}
+
+std::unique_ptr<ErrorModel> make_gilbert(const GilbertParams& params)
+{
+    return std::make_unique<GilbertElliott>(params);
+}
+
+}  // namespace ezflow::phy

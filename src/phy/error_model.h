@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ezflow::phy {
+
+/// Gilbert–Elliott parameters: a two-state continuous-time Markov chain
+/// (rates per second) with a per-state frame loss probability. Models the
+/// channel variability the paper cites as a reason the BOE must tolerate
+/// missed sniffs.
+struct GilbertParams {
+    double to_bad_per_s = 0.1;   ///< good -> bad transition rate
+    double to_good_per_s = 1.0;  ///< bad -> good transition rate
+    double loss_good = 0.0;
+    double loss_bad = 0.8;
+};
+
+/// Stationary loss fraction of a Gilbert link (for tests/calibration).
+double gilbert_stationary_loss(const GilbertParams& params);
+
+/// Per-link frame error process. The Channel owns one instance per directed
+/// link (installed via `Channel::set_link_error_model`) and asks it for the
+/// current loss probability once per frame arriving on that link; the
+/// Channel then rolls delivery against that probability from its own
+/// stream. Stateful processes (Gilbert–Elliott) evolve themselves inside
+/// `loss_probability` using the supplied time and RNG — the RNG is the
+/// channel's stream, so draw exactly what the process needs and nothing
+/// speculative.
+class ErrorModel {
+public:
+    virtual ~ErrorModel() = default;
+
+    /// Loss probability in [0, 1] for a frame arriving now.
+    virtual double loss_probability(util::SimTime now, util::Rng& rng) = 0;
+
+    /// Called once when the model is installed on a link. State machines
+    /// use this to draw their initial state (Gilbert starts in the
+    /// stationary distribution so measurements need no warmup).
+    virtual void reset(util::SimTime now, util::Rng& rng)
+    {
+        (void)now;
+        (void)rng;
+    }
+
+    /// Long-run mean loss fraction (for calibration and the link_loss
+    /// accessor).
+    virtual double mean_loss() const = 0;
+};
+
+/// Time-invariant loss: every frame is lost independently with fixed
+/// probability. The reference error model `Channel::set_link_loss` installs.
+class StaticLoss final : public ErrorModel {
+public:
+    explicit StaticLoss(double loss_probability);
+    double loss_probability(util::SimTime now, util::Rng& rng) override;
+    double mean_loss() const override { return loss_; }
+
+private:
+    double loss_;
+};
+
+/// Gilbert–Elliott bursty loss: the link flips between a good and a bad
+/// state as a two-state CTMC, advanced by the exact closed-form transition
+/// probability over the elapsed interval at each query.
+class GilbertElliott final : public ErrorModel {
+public:
+    explicit GilbertElliott(GilbertParams params);
+    void reset(util::SimTime now, util::Rng& rng) override;
+    double loss_probability(util::SimTime now, util::Rng& rng) override;
+    double mean_loss() const override { return gilbert_stationary_loss(params_); }
+
+    bool in_bad_state() const { return bad_; }
+
+private:
+    GilbertParams params_;
+    bool bad_ = false;
+    util::SimTime last_update_ = 0;
+};
+
+/// Factory for the common case; validates parameters.
+std::unique_ptr<ErrorModel> make_gilbert(const GilbertParams& params);
+
+}  // namespace ezflow::phy

@@ -31,6 +31,11 @@ struct Frame {
     /// Meaningful on RTS/CTS; third parties defer for this long after the
     /// frame ends.
     SimTime duration_us = 0;
+    /// Payload bitrate this frame is modulated at; 0 means the PHY default
+    /// (`PhyParams::bitrate_bps`). Stamped by the MAC when a RateManager
+    /// picks a per-link rate; control frames always stay at the default so
+    /// timeout/NAV arithmetic is rate-independent.
+    std::int64_t bitrate_bps = 0;
     bool has_packet = false;
     net::Packet packet{};
 
@@ -44,6 +49,7 @@ struct Frame {
           mac_seq(other.mac_seq),
           retry(other.retry),
           duration_us(other.duration_us),
+          bitrate_bps(other.bitrate_bps),
           has_packet(other.has_packet),
           packet(other.packet)
     {
@@ -58,6 +64,7 @@ struct Frame {
             mac_seq = other.mac_seq;
             retry = other.retry;
             duration_us = other.duration_us;
+            bitrate_bps = other.bitrate_bps;
             has_packet = other.has_packet;
             packet = other.packet;
             copy_counter().fetch_add(1, std::memory_order_relaxed);
@@ -88,6 +95,16 @@ struct PhyParams {
     /// follows the two-ray 1/d^4 law — all scenario distances exceed the
     /// ~86 m crossover, so the d^-4 regime applies throughout.
     double capture_threshold = 10.0;
+    /// Capture threshold in dB, used by the cumulative-SINR interference
+    /// ledger (`PhyModelConfig::Interference::kSinrLedger`). 10 dB is
+    /// exactly the linear 10.0 above, so the degenerate ledger (zero noise,
+    /// no rate floors binding) reproduces the reference capture test.
+    double capture_threshold_db = 10.0;
+    /// Thermal-noise floor added to the interference sum in SINR mode,
+    /// watts on the same normalized scale as the propagation model output
+    /// (reference two-ray emits 1/d^4 for unit tx power). 0 keeps SINR a
+    /// pure signal-to-interference ratio.
+    double noise_floor_w = 0.0;
     std::int64_t bitrate_bps = 1'000'000;
     SimTime plcp_overhead_us = 192;  ///< long PLCP preamble + header at 1 Mb/s
     int mac_data_overhead_bytes = 36;  ///< 24 B MAC header + 4 B FCS + 8 B LLC/SNAP
@@ -111,8 +128,23 @@ struct PhyParams {
                 bytes = mac_data_overhead_bytes + (frame.has_packet ? frame.packet.bytes : 0);
                 break;
         }
+        const std::int64_t rate = frame.bitrate_bps > 0 ? frame.bitrate_bps : bitrate_bps;
         const std::int64_t bits = static_cast<std::int64_t>(bytes) * 8;
-        return plcp_overhead_us + (bits * 1'000'000 + bitrate_bps - 1) / bitrate_bps;
+        return plcp_overhead_us + (bits * 1'000'000 + rate - 1) / rate;
+    }
+
+    /// Radius within which two nodes can interact at all — delivery, carrier
+    /// sense, or interference. Both the Channel's reachability cull and the
+    /// sharded engine's conflict-graph partitioner (`net::plan_shards`) must
+    /// use this same bound: the interference ledger accumulates energy from
+    /// every node inside it, so a shard cut through this radius would lose
+    /// ledger contributions.
+    double conflict_radius_m() const
+    {
+        double r = tx_range_m;
+        if (cs_range_m > r) r = cs_range_m;
+        if (interference_range_m > r) r = interference_range_m;
+        return r;
     }
 };
 

@@ -42,28 +42,35 @@ void NodePhy::start_tx(Frame frame)
     channel_->transmit(*this, std::move(frame));
 }
 
-void NodePhy::signal_start(std::uint64_t signal_id, const Frame& frame, bool decodable,
-                           bool sensed, double power_w)
+void NodePhy::signal_start(const RxEvent& rx)
 {
-    (void)frame;
-    active_.push_back(ActiveSignal{signal_id, power_w, sensed});
-    if (sensed) ++sensed_active_;
-    const double threshold = channel_params().capture_threshold;
+    active_.push_back(ActiveSignal{rx.signal_id, rx.power_w, rx.sensed});
+    ledger_w_ += rx.power_w;
+    if (rx.sensed) ++sensed_active_;
+    const bool decodable = rx.decodable();
     if (transmitting_) {
         // Cannot hear anything while transmitting.
         if (decodable) ++frames_missed_busy_;
     } else if (rx_active_) {
-        // The locked reception survives if it still captures over the sum
-        // of all interferers (corruption is sticky).
-        if (rx_power_w_ < threshold * interference_sum(rx_signal_id_)) rx_corrupted_ = true;
+        // The locked reception survives only while it still clears its SINR
+        // over the exact sum of all interferers plus noise (corruption is
+        // sticky). The sum is recomputed from the ledger entries rather
+        // than taken from the incremental total: capture decisions must be
+        // bit-exact, and interference only changes at signal edges, so the
+        // minimum SINR over the frame is observed at exactly these checks.
+        if (rx_power_w_ < rx_threshold_ * (interference_sum(rx_signal_id_) + rx_noise_w_))
+            rx_corrupted_ = true;
         if (decodable) ++frames_missed_busy_;
     } else if (decodable) {
         rx_active_ = true;
-        rx_signal_id_ = signal_id;
-        rx_power_w_ = power_w;
+        rx_signal_id_ = rx.signal_id;
+        rx_power_w_ = rx.power_w;
+        rx_threshold_ = rx.capture_threshold;
+        rx_noise_w_ = rx.noise_w;
         // Pre-existing overlapping energy corrupts the new reception
         // unless the frame captures over it.
-        rx_corrupted_ = power_w < threshold * interference_sum(signal_id);
+        rx_corrupted_ =
+            rx.power_w < rx_threshold_ * (interference_sum(rx.signal_id) + rx_noise_w_);
     }
     update_busy();
 }
@@ -74,7 +81,9 @@ void NodePhy::signal_end(std::uint64_t signal_id, const Frame& frame)
                                  [signal_id](const ActiveSignal& s) { return s.id == signal_id; });
     if (it == active_.end()) throw std::logic_error("NodePhy::signal_end: unknown signal");
     const bool was_sensed = it->sensed;
+    ledger_w_ -= it->power_w;
     active_.erase(it);
+    if (active_.empty()) ledger_w_ = 0.0;  // empty ledger is exactly quiet
     if (was_sensed) --sensed_active_;
 
     const bool completes_rx = rx_active_ && rx_signal_id_ == signal_id;
@@ -102,6 +111,20 @@ void NodePhy::tx_end(const Frame& frame)
     transmitting_ = false;
     update_busy();
     if (listener_ != nullptr) listener_->phy_tx_done(frame);
+}
+
+std::int64_t NodePhy::data_bitrate_for(net::NodeId rx) const
+{
+    if (channel_ == nullptr)
+        throw std::logic_error("NodePhy::data_bitrate_for: no channel attached");
+    return channel_->data_bitrate(id_, rx);
+}
+
+void NodePhy::report_tx_result(net::NodeId rx, bool success)
+{
+    if (channel_ == nullptr)
+        throw std::logic_error("NodePhy::report_tx_result: no channel attached");
+    channel_->report_tx_result(id_, rx, success);
 }
 
 void NodePhy::update_busy()

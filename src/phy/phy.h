@@ -10,6 +10,29 @@ namespace ezflow::phy {
 
 class Channel;
 
+/// Everything the channel tells a receiver about an arriving signal: the
+/// geometry/range facts, the received power, and the model verdicts
+/// (per-link error roll, the SINR threshold this frame must clear, the
+/// noise floor beneath it). One struct instead of a positional boolean
+/// soup — a new model extends this type, not every signal_start call site.
+struct RxEvent {
+    std::uint64_t signal_id = 0;
+    const Frame* frame = nullptr;
+    double power_w = 0.0;  ///< received power at this node (propagation model)
+    /// Thermal noise added to the interference sum in the capture test
+    /// (0 in the reference configuration).
+    double noise_w = 0.0;
+    /// Linear SINR this frame needs to lock and survive: the capture
+    /// threshold, already combined with the rate's decode floor in SINR
+    /// mode (`PhyParams::capture_threshold` verbatim in reference mode).
+    double capture_threshold = 10.0;
+    bool in_delivery = false;  ///< within tx_range: decode candidate
+    bool sensed = false;       ///< within cs_range: counts for energy detection
+    bool error = false;        ///< per-link error model rolled a loss
+
+    bool decodable() const { return in_delivery && !error; }
+};
+
 /// Callbacks a MAC implements to drive and observe its PHY.
 class PhyListener {
 public:
@@ -27,8 +50,10 @@ public:
 /// Per-node radio. Models a half-duplex 802.11 interface:
 ///  * carrier sense counts overlapping signals within cs_range;
 ///  * the node locks onto the first decodable signal while idle;
-///  * any overlapping signal within interference range corrupts a
-///    reception in progress (no capture);
+///  * overlapping signals within interference range accumulate in the
+///    interference ledger; the locked frame survives only while its power
+///    clears `capture_threshold x (interference + noise)` (cumulative
+///    SINR — the threshold and noise arrive per-frame in the RxEvent);
 ///  * a transmitting node hears nothing (half duplex) — this is what made
 ///    the authors use a second radio as sniffer on the testbed.
 class NodePhy {
@@ -57,17 +82,29 @@ public:
     void start_tx(Frame frame);
 
     // --- channel-facing interface ---
-    /// A signal reaching this node started. `decodable`: within delivery
-    /// range and the per-link loss roll succeeded. `sensed`: within
-    /// carrier-sense range (contributes to energy detection). `power_w`:
-    /// received power (two-ray), used for capture decisions against
-    /// interference within interference range.
-    void signal_start(std::uint64_t signal_id, const Frame& frame, bool decodable, bool sensed,
-                      double power_w);
+    /// A signal reaching this node started; `rx` carries the power, range
+    /// facts and model verdicts (see RxEvent). The node locks onto the
+    /// first decodable arrival while idle and applies the capture test —
+    /// locked power vs threshold x (interference + noise) — both at lock
+    /// and again at every later arrival, so mid-frame interferers corrupt
+    /// a reception that no longer clears its SINR (corruption is sticky).
+    void signal_start(const RxEvent& rx);
     /// The same signal ended.
     void signal_end(std::uint64_t signal_id, const Frame& frame);
     /// Own transmission ended (scheduled by the channel).
     void tx_end(const Frame& frame);
+
+    // --- rate adaptation (MAC-facing, forwards to the channel's manager) ---
+    /// Rate for the next data attempt to `rx`; 0 means the PHY default
+    /// (leave the frame unstamped).
+    std::int64_t data_bitrate_for(net::NodeId rx) const;
+    /// Report the ACK verdict of the most recent attempt to `rx`.
+    void report_tx_result(net::NodeId rx, bool success);
+
+    /// Total power currently on the air at this node — the interference
+    /// ledger. Maintained incrementally (O(1) per signal edge) and snapped
+    /// to exactly 0 whenever the ledger empties, so it cannot drift.
+    double interference_ledger_w() const { return ledger_w_; }
 
     /// Whether the most recent sensed signal ended without a correct
     /// decode at this node (drives the MAC's EIFS rule).
@@ -103,8 +140,11 @@ private:
     bool rx_active_ = false;
     std::uint64_t rx_signal_id_ = 0;
     double rx_power_w_ = 0.0;
+    double rx_threshold_ = 0.0;  ///< linear SINR the locked frame must keep clearing
+    double rx_noise_w_ = 0.0;    ///< noise floor under the locked frame
     bool rx_corrupted_ = false;
     bool last_rx_error_ = false;
+    double ledger_w_ = 0.0;  ///< incremental total of active signal power
 
     std::uint64_t frames_decoded_ = 0;
     std::uint64_t frames_corrupted_ = 0;

@@ -1,19 +1,46 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
 #include "phy/geometry.h"
+#include "util/units.h"
 
 namespace ezflow::phy {
 
 /// Received-power propagation models. The paper's simulations use ns-2
 /// defaults: two-ray ground reflection with a 250 m delivery range and a
-/// 550 m carrier-sense range. The packet simulator works with range
-/// thresholds; these models exist to *derive* consistent thresholds from
-/// physical parameters, and are unit-tested against the ns-2 constants.
+/// 550 m carrier-sense range. Historically the packet simulator worked with
+/// range thresholds and these models only *derived* consistent thresholds
+/// from physical parameters; the Channel now also consults a
+/// PropagationModel per transmission through `link_power_w`, so time- and
+/// link-dependent processes (fading) plug in behind the same interface.
 class PropagationModel {
 public:
     virtual ~PropagationModel() = default;
     /// Received power in watts for a transmit power `tx_power_w` at distance d (m).
     virtual double rx_power_w(double tx_power_w, double distance_m) const = 0;
+
+    /// Received power on the directed link tx -> rx at simulation time
+    /// `now`. The default forwards to the pure distance law; time-variant
+    /// models (fading) override this and must also report
+    /// `time_invariant() == false` so the Channel recomputes per
+    /// transmission instead of caching per-link powers.
+    virtual double link_power_w(net::NodeId tx, net::NodeId rx, double tx_power_w,
+                                double distance_m, util::SimTime now)
+    {
+        (void)tx;
+        (void)rx;
+        (void)now;
+        return rx_power_w(tx_power_w, distance_m);
+    }
+
+    /// True when link_power_w depends only on distance, so per-link powers
+    /// may be precomputed once.
+    virtual bool time_invariant() const { return true; }
+
     /// Distance at which rx power crosses `threshold_w` (monotone models only).
     double range_for_threshold(double tx_power_w, double threshold_w) const;
 };
@@ -47,6 +74,62 @@ private:
     double gain_rx_;
     double system_loss_;
     double crossover_m_;
+};
+
+/// The reference path-loss law the golden-pinned simulations use: the
+/// normalized far-field two-ray limit Pr = Pt / max(d, 1)^4 with all gains
+/// and heights folded into the unit transmit power. This is *exactly* the
+/// expression the Channel historically inlined (`1.0 / d_eff^4`), written
+/// with the same operation order so selecting this model keeps every golden
+/// byte-identical under `-ffp-contract=off`.
+class TwoRayReference final : public PropagationModel {
+public:
+    double rx_power_w(double tx_power_w, double distance_m) const override;
+};
+
+/// Jakes sum-of-sinusoids Rayleigh fading over a base path-loss model.
+///
+/// Each directed link owns a fixed bank of `oscillators` rays whose arrival
+/// angles and phases are drawn once from a private RNG keyed by
+/// (seed, tx, rx) — deterministic, independent of every simulator stream,
+/// and symmetric links fade independently (distinct keys). The complex
+/// channel gain at time t is
+///     h(t) = sqrt(1/M) * sum_k exp(j * (w_d * cos(alpha_k) * t + phi_k))
+/// and the power gain |h(t)|^2 multiplies the base model's link power.
+/// E[|h|^2] = 1, so fading preserves mean power; the envelope |h| is
+/// Rayleigh-distributed for moderate M (16 by default, the classic Jakes
+/// configuration).
+///
+/// Degenerate parameters reproduce the base model exactly: with
+/// `doppler_hz == 0` the gain computation is bypassed entirely and
+/// link_power_w returns the base power bit-for-bit.
+class JakesFading final : public PropagationModel {
+public:
+    JakesFading(std::unique_ptr<PropagationModel> base, double doppler_hz, std::uint64_t seed,
+                int oscillators = 16);
+    ~JakesFading() override;
+
+    double rx_power_w(double tx_power_w, double distance_m) const override;
+    double link_power_w(net::NodeId tx, net::NodeId rx, double tx_power_w, double distance_m,
+                        util::SimTime now) override;
+    bool time_invariant() const override { return doppler_hz_ == 0.0; }
+
+    /// Power gain |h(t)|^2 on a link at time t; exposed for the
+    /// distribution tests.
+    double power_gain(net::NodeId tx, net::NodeId rx, util::SimTime now);
+
+private:
+    struct Oscillators;  // per-link ray bank, built lazily
+    Oscillators& rays_for(net::NodeId tx, net::NodeId rx);
+
+    std::unique_ptr<PropagationModel> base_;
+    double doppler_hz_;
+    std::uint64_t seed_;
+    int oscillators_;
+    // Lazily-populated per-link ray banks. Flat-hashed (LinkTable) would
+    // also work; the bank is touched once per transmission so a map is off
+    // the critical path, but we keep it pointer-stable via unique_ptr.
+    std::vector<std::pair<std::uint64_t, std::unique_ptr<Oscillators>>> banks_;
 };
 
 /// ns-2 default WiFi PHY constants (wireless-phy.cc), used in tests to show

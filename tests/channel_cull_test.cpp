@@ -34,7 +34,9 @@ std::vector<std::uint64_t> run_scenario(const analysis::ScenarioSpec& spec, bool
 {
     analysis::ExperimentFactory factory(spec, analysis::ExperimentOptions{});
     std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/11);
-    experiment->network().channel().set_reachability_cull(cull);
+    net::ReferenceModeFlags flags;
+    flags.reachability_cull = cull;
+    experiment->network().set_reference_mode(flags);
     experiment->run();
     return experiment_fingerprint(*experiment);
 }
@@ -83,7 +85,9 @@ TEST(ChannelCull, GeneratedRandomMeshMatchesFullBroadcast)
                                             analysis::ExperimentOptions{});
         const auto run_with_cull = [&factory, seed](bool cull) {
             std::unique_ptr<analysis::Experiment> experiment = factory.make(seed);
-            experiment->network().channel().set_reachability_cull(cull);
+            net::ReferenceModeFlags flags;
+            flags.reachability_cull = cull;
+            experiment->network().set_reference_mode(flags);
             experiment->run();
             return experiment_fingerprint(*experiment);
         };
@@ -100,7 +104,9 @@ TEST(ChannelCull, GridRunMatchesFullBroadcast)
         for (int y = 0; y < 4; ++y)
             for (int x = 0; x < 4; ++x)
                 network.add_node(Position{x * 200.0, y * 200.0});
-        network.channel().set_reachability_cull(cull);
+        net::ReferenceModeFlags flags;
+        flags.reachability_cull = cull;
+        network.set_reference_mode(flags);
         network.add_flow(1, {0, 1, 2, 3});       // west -> east along the top row
         network.add_flow(2, {0, 4, 8, 12});      // north -> south along the left column
         network.add_flow(3, {5, 6, 10});         // interior dog-leg

@@ -53,7 +53,9 @@ TEST(GridStress, CullFastPathMatchesFullBroadcastOnStressGrid)
     const auto run_with_cull = [](bool cull) {
         analysis::ExperimentFactory factory(stress_grid_spec(), analysis::ExperimentOptions{});
         std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/11);
-        experiment->network().channel().set_reachability_cull(cull);
+        net::ReferenceModeFlags flags;
+        flags.reachability_cull = cull;
+        experiment->network().set_reference_mode(flags);
         experiment->run();
         return experiment_fingerprint(*experiment);
     };

@@ -396,7 +396,7 @@ TEST(Channel, FramePoolSharesOneRecordOnBroadcastPath)
     // when the last signal end fires.
     TestBed bed;
     bed.channel.set_reachability_cull(false);
-    bed.channel.set_link_gilbert(0, 1, Channel::GilbertParams{1.0, 1.0, 0.0, 1.0});
+    bed.channel.set_link_error_model(0, 1, make_gilbert(GilbertParams{1.0, 1.0, 0.0, 1.0}));
     NodePhy& a = bed.add(0);
     bed.add(200);
     bed.add(400);
