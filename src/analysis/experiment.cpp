@@ -66,6 +66,11 @@ Experiment::Experiment(net::Scenario scenario, ExperimentOptions options)
     cw_tracer_ = std::make_unique<CwTracer>(net, cw_targets, options_.cw_sample_period,
                                             options_.streaming);
     cw_tracer_->start();
+
+    if (!scenario_.faults.empty()) {
+        fault_injector_ = std::make_unique<sim::FaultInjector>(net, scenario_.faults);
+        fault_injector_->arm();
+    }
 }
 
 void Experiment::run()

@@ -10,6 +10,7 @@
 #include "core/agent.h"
 #include "core/penalty.h"
 #include "net/topologies.h"
+#include "sim/fault_injector.h"
 #include "traffic/sink.h"
 #include "traffic/source.h"
 
@@ -82,6 +83,14 @@ public:
     /// Nodes that transmit data (sources + relays), in id order.
     const std::vector<net::NodeId>& transmitting_nodes() const { return transmitters_; }
 
+    /// The flows' traffic sources, in scenario flow-plan order (stats()
+    /// settles closed-form accounting, hence non-const).
+    const std::vector<std::unique_ptr<traffic::Source>>& sources() { return sources_; }
+
+    /// The armed fault injector, or null when the scenario carries no
+    /// fault plan.
+    const sim::FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
 private:
     net::Scenario scenario_;
     ExperimentOptions options_;
@@ -92,6 +101,7 @@ private:
     std::unique_ptr<CwTracer> cw_tracer_;
     std::map<net::NodeId, std::unique_ptr<core::EzFlowAgent>> agents_;
     std::vector<net::NodeId> transmitters_;
+    std::unique_ptr<sim::FaultInjector> fault_injector_;
 };
 
 }  // namespace ezflow::analysis

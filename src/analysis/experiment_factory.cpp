@@ -166,6 +166,7 @@ net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
     // Model installation is applied after construction rather than threaded
     // through every topology builder; a reference config is an exact no-op.
     scenario.network->set_phy_models(spec.models);
+    scenario.faults = spec.faults;
     return scenario;
 }
 

@@ -71,6 +71,12 @@ struct ScenarioSpec {
     /// spec is unaffected.
     phy::PhyModelConfig models;
 
+    /// Scheduled node/link faults carried into the built Scenario (empty
+    /// default: no injector is constructed, zero overhead). Event times
+    /// are absolute simulation seconds, so specs compose with the
+    /// topology's start/duration knobs.
+    net::FaultPlan faults;
+
     static ScenarioSpec line(int hops, double duration_s);
     static ScenarioSpec testbed(double f1_start_s, double f1_stop_s, double f2_start_s,
                                 double f2_stop_s);

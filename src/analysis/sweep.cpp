@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "analysis/drop_audit.h"
 #include "util/thread_pool.h"
 
 namespace ezflow::analysis {
@@ -28,6 +29,10 @@ SeedResult run_one(const ExperimentFactory& factory, const SweepConfig& config,
 {
     std::unique_ptr<Experiment> experiment = factory.make(seed);
     experiment->run();
+    // Every swept run balances its packet ledger: the losses must
+    // partition into the named drop buckets (throws on a leak or a
+    // double-count, so the goldens cannot absorb an accounting bug).
+    audit_drop_accounting(*experiment);
     net::Network& network = experiment->network();
     g_events.fetch_add(network.total_processed(), std::memory_order_relaxed);
     g_runs.fetch_add(1, std::memory_order_relaxed);

@@ -27,6 +27,7 @@ DcfMac::~DcfMac()
 
 bool DcfMac::enqueue(const QueueKey& key, const net::Packet& packet)
 {
+    if (down_) return false;  // callers account the drop (node-down bucket)
     MacQueue& queue = queues_.ensure(key);
     const bool accepted = queue.push(packet);
     maybe_start_work();
@@ -35,10 +36,43 @@ bool DcfMac::enqueue(const QueueKey& key, const net::Packet& packet)
 
 bool DcfMac::enqueue(const QueueKey& key, net::Packet&& packet)
 {
+    if (down_) return false;  // callers account the drop (node-down bucket)
     MacQueue& queue = queues_.ensure(key);
     const bool accepted = queue.push(std::move(packet));
     maybe_start_work();
     return accepted;
+}
+
+void DcfMac::quiesce()
+{
+    if (down_) return;
+    down_ = true;
+    coordinator_.unregister(*this);  // no-op when not registered
+    ack_timer_.cancel();
+    cts_timer_.cancel();
+    pending_ctrl_.clear();
+    ack_tx_scheduled_ = false;
+    in_contention_ = false;
+    if (current_queue_ != nullptr) ++teardown_aborts_;
+    current_queue_ = nullptr;
+    retries_ = 0;
+    backoff_remaining_ = 0;
+    nav_until_ = 0;
+    state_ = State::kIdle;
+    // The committed head packet (if any) is still queue backlog —
+    // finish_current never popped it — so the flush accounts it exactly
+    // once, in drops_node_down, never as a dequeue.
+    queues_.flush_all_node_down();
+}
+
+void DcfMac::revive()
+{
+    if (!down_) return;
+    down_ = false;
+    // Neighbours' sequence numbers moved on while this node was dead;
+    // stale entries could suppress the first genuinely new frame.
+    last_rx_seq_.clear();
+    maybe_start_work();
 }
 
 void DcfMac::set_queue_cw_min(const QueueKey& key, int cw)
@@ -55,6 +89,7 @@ int DcfMac::queue_cw_min(const QueueKey& key) const
 
 void DcfMac::maybe_start_work()
 {
+    if (down_) return;
     if (state_ != State::kIdle) return;
     if (ack_tx_scheduled_) return;  // finish the ACK exchange first
     if (queues_.all_empty()) return;
@@ -312,6 +347,7 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
             const bool duplicate =
                 frame.retry > 0 && it != last_rx_seq_.end() && it->second == frame.mac_seq;
             last_rx_seq_[frame.tx_node] = frame.mac_seq;
+            if (duplicate) ++dup_rx_suppressed_;
             if (!duplicate && callbacks_ != nullptr) callbacks_->mac_rx(frame);
             return;
         }
@@ -332,7 +368,11 @@ void DcfMac::schedule_control_if_needed()
 
 void DcfMac::send_pending_control()
 {
-    if (pending_ctrl_.empty()) throw std::logic_error("DcfMac::send_pending_control: none pending");
+    // An empty list here is legitimate only because quiesce clears it:
+    // the SIFS trigger events cannot be cancelled (schedule_in keeps no
+    // handle), so one may fire after a teardown — or after a teardown
+    // plus revival — and must simply do nothing.
+    if (down_ || pending_ctrl_.empty()) return;
     if (phy_.transmitting()) {
         // Extremely rare: our own transmission started in the SIFS
         // window. Retry shortly after.
@@ -404,6 +444,7 @@ void DcfMac::finish_current(bool success)
 
 void DcfMac::phy_busy_changed(bool busy)
 {
+    if (down_) return;
     if (busy) {
         if (state_ == State::kContending) {
             freeze_contention();

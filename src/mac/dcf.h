@@ -74,6 +74,20 @@ public:
     void set_queue_cw_min(const QueueKey& key, int cw);
     int queue_cw_min(const QueueKey& key) const;
 
+    // --- fault injection ---
+    /// Graceful teardown (node death): cancel the coordinator
+    /// registration and both response timers, abandon the contention
+    /// context and any pending SIFS control responses, and flush every
+    /// queue into the `dropped_node_down` bucket. Un-cancellable events
+    /// already scheduled against this MAC (SIFS sends, NAV expiries,
+    /// CTS follow-ups) become no-ops via their state guards. Idempotent.
+    void quiesce();
+    /// Undo quiesce after the PHY is powered and reattached: clear the
+    /// duplicate filter (neighbours restart their sequence dialogue) and
+    /// resume serving whatever has been enqueued since.
+    void revive();
+    bool is_down() const { return down_; }
+
     MacQueueSet& queues() { return queues_; }
     const MacQueueSet& queues() const { return queues_; }
     const MacParams& params() const { return params_; }
@@ -92,9 +106,28 @@ public:
     std::uint64_t retry_drops() const { return retry_drops_; }
     std::uint64_t acks_sent() const { return acks_sent_; }
     std::uint64_t successes() const { return successes_; }
+    /// Duplicate data frames suppressed by the receive filter. Each one
+    /// marks a packet the sender may have retry-dropped (or will ACK
+    /// later) after it already progressed — the exact slack the
+    /// end-to-end drop audit must allow for cloned outcomes.
+    std::uint64_t dup_rx_suppressed() const { return dup_rx_suppressed_; }
 
     /// Virtual carrier sense deadline (NAV). Exposed for tests.
     SimTime nav_until() const { return nav_until_; }
+
+    /// Whether the MAC is currently committed to a head packet (an access
+    /// or exchange is in progress). The packet stays queue backlog until
+    /// the exchange settles, but its receiver may already have progressed
+    /// it — the one-per-node in-flight slack the drop audit allows when a
+    /// run is frozen mid-dialogue.
+    bool serving() const { return current_queue_ != nullptr; }
+
+    /// Dialogues cut short by a node-down quiesce while the MAC was
+    /// committed to a head packet. The receiver may already have decoded
+    /// that packet's data before the teardown flushed it into
+    /// drops_node_down — each abort is therefore one more potential
+    /// cloned outcome the drop audit must allow.
+    std::uint64_t teardown_aborts() const { return teardown_aborts_; }
 
 private:
     enum class State {
@@ -150,6 +183,7 @@ private:
 
     MacQueueSet queues_;
     State state_ = State::kIdle;
+    bool down_ = false;  ///< quiesced by fault injection
 
     // Current contention context (valid when in_contention_).
     bool in_contention_ = false;
@@ -184,6 +218,8 @@ private:
     std::uint64_t retry_drops_ = 0;
     std::uint64_t acks_sent_ = 0;
     std::uint64_t successes_ = 0;
+    std::uint64_t dup_rx_suppressed_ = 0;
+    std::uint64_t teardown_aborts_ = 0;
 };
 
 }  // namespace ezflow::mac

@@ -57,6 +57,19 @@ void MacQueue::pop()
     if (!waiters_.empty()) notify_vacancy();
 }
 
+std::uint64_t MacQueue::flush_node_down()
+{
+    const auto count = static_cast<std::uint64_t>(packets_.size());
+    packets_.clear();
+    dropped_node_down_ += count;
+    // Waiters only exist while the queue is full, so a non-empty flush is
+    // the vacancy they were parked for. They settle their closed-form
+    // accounting exactly as a pop-notification would, then re-emit into
+    // the down node and land on the source's retry-with-backoff path.
+    if (count > 0 && !waiters_.empty()) notify_vacancy();
+    return count;
+}
+
 void MacQueue::add_vacancy_waiter(VacancyWaiter* waiter)
 {
     if (waiter == nullptr) throw std::invalid_argument("MacQueue::add_vacancy_waiter: null");
@@ -152,6 +165,13 @@ int MacQueueSet::total_packets() const
 {
     int total = 0;
     for (const auto& q : queues_) total += q->size();
+    return total;
+}
+
+std::uint64_t MacQueueSet::flush_all_node_down()
+{
+    std::uint64_t total = 0;
+    for (auto& q : queues_) total += q->flush_node_down();
     return total;
 }
 

@@ -86,6 +86,14 @@ public:
     /// pushed (and drop-counted) each of them individually.
     void count_gated_drops(std::uint64_t count) { dropped_full_ += count; }
 
+    /// Node-death teardown: discard every queued packet into the
+    /// `dropped_node_down` accounting bucket (NOT `dequeued` — these
+    /// packets never reached the air) and wake any gated sources so they
+    /// settle and move to the retry-with-backoff path instead of parking
+    /// forever on a queue that will never pop again. Returns the number
+    /// of packets flushed.
+    std::uint64_t flush_node_down();
+
     int size() const { return static_cast<int>(packets_.size()); }
     bool empty() const { return packets_.empty(); }
     int capacity() const { return capacity_; }
@@ -93,10 +101,12 @@ public:
     int cw_min() const { return cw_min_; }
     void set_cw_min(int cw);
 
-    // Statistics.
+    // Statistics. Conservation: enqueued == dequeued + dropped_node_down
+    // + size at all times (dropped_full counts packets never accepted).
     std::uint64_t enqueued() const { return enqueued_; }
     std::uint64_t dropped_full() const { return dropped_full_; }
     std::uint64_t dequeued() const { return dequeued_; }
+    std::uint64_t dropped_node_down() const { return dropped_node_down_; }
 
 private:
     /// Capacity check + drop/enqueue accounting shared by both push
@@ -120,6 +130,7 @@ private:
     std::uint64_t enqueued_ = 0;
     std::uint64_t dropped_full_ = 0;
     std::uint64_t dequeued_ = 0;
+    std::uint64_t dropped_node_down_ = 0;
 };
 
 /// The set of interface queues at one node, served round-robin so no
@@ -140,6 +151,10 @@ public:
 
     int total_packets() const;
     bool all_empty() const { return total_packets() == 0; }
+
+    /// Flush every queue into its `dropped_node_down` bucket (node
+    /// teardown). Returns the total packets flushed.
+    std::uint64_t flush_all_node_down();
 
     const std::vector<std::unique_ptr<MacQueue>>& queues() const { return queues_; }
 

@@ -1,0 +1,90 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ezflow::net {
+
+FaultPlan& FaultPlan::node_down(double at_s, NodeId node)
+{
+    FaultEvent e;
+    e.at = util::from_seconds(at_s);
+    e.kind = FaultKind::kNodeDown;
+    e.node = node;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan& FaultPlan::node_up(double at_s, NodeId node)
+{
+    FaultEvent e;
+    e.at = util::from_seconds(at_s);
+    e.kind = FaultKind::kNodeUp;
+    e.node = node;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan& FaultPlan::link_down(double at_s, NodeId a, NodeId b)
+{
+    FaultEvent e;
+    e.at = util::from_seconds(at_s);
+    e.kind = FaultKind::kLinkDown;
+    e.a = a;
+    e.b = b;
+    events.push_back(e);
+    return *this;
+}
+
+FaultPlan& FaultPlan::link_up(double at_s, NodeId a, NodeId b)
+{
+    FaultEvent e;
+    e.at = util::from_seconds(at_s);
+    e.kind = FaultKind::kLinkUp;
+    e.a = a;
+    e.b = b;
+    events.push_back(e);
+    return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted() const
+{
+    std::vector<FaultEvent> out = events;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+    return out;
+}
+
+FaultPlan FaultPlan::random_churn(const ChurnSpec& spec, std::uint64_t seed)
+{
+    if (spec.candidates.empty())
+        throw std::invalid_argument("FaultPlan::random_churn: no candidate nodes");
+    if (spec.cycles < 0) throw std::invalid_argument("FaultPlan::random_churn: cycles < 0");
+    if (!(spec.from_s <= spec.to_s))
+        throw std::invalid_argument("FaultPlan::random_churn: from_s > to_s");
+    if (!(0.0 < spec.min_down_s && spec.min_down_s <= spec.max_down_s))
+        throw std::invalid_argument("FaultPlan::random_churn: bad outage duration range");
+
+    util::Rng rng(seed);
+    FaultPlan plan;
+    // Track when each victim comes back so one node's cycles never
+    // overlap (a second kNodeDown while already down would be a no-op,
+    // but the paired kNodeUp events would then race each other).
+    std::vector<double> busy_until(spec.candidates.size(), spec.from_s);
+    for (int c = 0; c < spec.cycles; ++c) {
+        const int pick =
+            rng.uniform_int(0, static_cast<int>(spec.candidates.size()) - 1);
+        const double down_for = rng.uniform_real(spec.min_down_s, spec.max_down_s);
+        const double earliest = busy_until[static_cast<std::size_t>(pick)];
+        if (earliest + down_for > spec.to_s) continue;  // no room left for this victim
+        const double at = rng.uniform_real(earliest, spec.to_s - down_for);
+        plan.node_down(at, spec.candidates[static_cast<std::size_t>(pick)]);
+        plan.node_up(at + down_for, spec.candidates[static_cast<std::size_t>(pick)]);
+        busy_until[static_cast<std::size_t>(pick)] = at + down_for;
+    }
+    return plan;
+}
+
+}  // namespace ezflow::net

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/units.h"
+
+namespace ezflow::net {
+
+/// What a single scheduled fault does to the network.
+enum class FaultKind {
+    kNodeDown,  ///< graceful teardown: MAC quiesced, queues flushed, PHY detached
+    kNodeUp,    ///< revival: PHY reattached, MAC revived, routes repaired
+    kLinkDown,  ///< administrative removal of the undirected link (a, b)
+    kLinkUp,    ///< the link is usable again
+};
+
+struct FaultEvent {
+    util::SimTime at = 0;  ///< absolute simulation time
+    FaultKind kind = FaultKind::kNodeDown;
+    NodeId node = -1;  ///< node events; ignored for link events
+    NodeId a = -1;     ///< link endpoint (undirected)
+    NodeId b = -1;     ///< link endpoint (undirected)
+};
+
+/// Parameters for the seeded random-churn generator: `cycles` down/up
+/// cycles drawn over [from_s, to_s), victims drawn uniformly from
+/// `candidates`, each outage lasting uniformly [min_down_s, max_down_s].
+struct ChurnSpec {
+    std::vector<NodeId> candidates;
+    int cycles = 4;
+    double from_s = 0.0;
+    double to_s = 0.0;
+    double min_down_s = 1.0;
+    double max_down_s = 5.0;
+};
+
+/// A deterministic, declarative schedule of element failures and
+/// revivals. Plans are plain data: build one (by hand or from
+/// random_churn), hang it on a Scenario, and sim::FaultInjector executes
+/// it against the live network. Seconds in, SimTime out — callers think
+/// in scenario time.
+struct FaultPlan {
+    std::vector<FaultEvent> events;
+
+    FaultPlan& node_down(double at_s, NodeId node);
+    FaultPlan& node_up(double at_s, NodeId node);
+    FaultPlan& link_down(double at_s, NodeId a, NodeId b);
+    FaultPlan& link_up(double at_s, NodeId a, NodeId b);
+
+    bool empty() const { return events.empty(); }
+
+    /// Events ordered by (time, insertion order) — the execution order
+    /// the injector uses, independent of how the plan was authored.
+    std::vector<FaultEvent> sorted() const;
+
+    /// Seeded random churn: same spec + same seed -> same plan, on any
+    /// platform (uses the repo's deterministic SplitMix/Xoshiro RNG).
+    /// Down and up events are paired and never overlap for one node.
+    static FaultPlan random_churn(const ChurnSpec& spec, std::uint64_t seed);
+};
+
+}  // namespace ezflow::net

@@ -116,6 +116,25 @@ std::uint64_t Network::total_data_transmissions() const
     return total;
 }
 
+void Network::set_node_down(NodeId id)
+{
+    Node& n = node(id);
+    if (!n.is_up()) return;
+    // MAC quiesced and radio wiped first, then the channel forgets the
+    // PHY; in-flight signal-end events keep their pooled frame refs and
+    // drain as tolerated no-ops at the dead PHY.
+    n.teardown();
+    shard(shard_of(id)).channel.detach(n.phy());
+}
+
+void Network::set_node_up(NodeId id)
+{
+    Node& n = node(id);
+    if (n.is_up()) return;
+    shard(shard_of(id)).channel.attach(n.phy());
+    n.revive();
+}
+
 sim::ShardedEngine* Network::sharded_engine()
 {
     if (shard_count() <= 1) return nullptr;

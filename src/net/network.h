@@ -137,6 +137,19 @@ public:
     /// for a single shard — run_until drives the scheduler directly).
     sim::ShardedEngine* sharded_engine();
 
+    // --- fault injection ---
+    /// Graceful node teardown: quiesce the MAC (queues flush into
+    /// drops_node_down, gated sources wake onto their backoff path),
+    /// power off the radio, and detach it from its shard's channel —
+    /// invalidating the reachability cache. In-flight frames from the
+    /// dying node still complete at their receivers (the energy is on
+    /// the air); frames to it die unheard. Idempotent.
+    void set_node_down(NodeId id);
+    /// Revival: reattach the PHY, power it on, revive the MAC. Routing
+    /// repair is the fault injector's job, not Network's. Idempotent.
+    void set_node_up(NodeId id);
+    bool node_is_up(NodeId id) const { return node(id).is_up(); }
+
     /// Advance simulated time.
     void run_until(util::SimTime t);
     util::SimTime now() const { return shards_[0]->scheduler.now(); }

@@ -25,7 +25,18 @@ void Node::set_forward_interceptor(ForwardInterceptor interceptor)
 
 bool Node::send(Packet packet)
 {
-    const NodeId next = routing_.next_hop(packet.flow_id, id_);
+    if (!up_) {
+        ++drops_node_down_;
+        return false;
+    }
+    const NodeId next = routing_.next_hop_or_none(packet.flow_id, id_);
+    if (next == RoutingTable::kNoNextHop) {
+        // Suspended (partitioned) flow, or repair in flight. Sources
+        // check routability before generating, so this is the rare race
+        // window between a repair and an already-scheduled emission.
+        ++drops_unroutable_;
+        return false;
+    }
     const mac::QueueKey key{next, /*own_traffic=*/true};
     if (interceptor_ && interceptor_(key, packet)) return true;
     const bool accepted = mac_.enqueue(key, std::move(packet));
@@ -35,8 +46,29 @@ bool Node::send(Packet packet)
 
 mac::MacQueue* Node::own_traffic_queue(int flow_id)
 {
-    const NodeId next = routing_.next_hop(flow_id, id_);
+    const NodeId next = routing_.next_hop_or_none(flow_id, id_);
+    if (next == RoutingTable::kNoNextHop) return nullptr;
     return mac_.queues().find(mac::QueueKey{next, /*own_traffic=*/true});
+}
+
+void Node::teardown()
+{
+    if (!up_) return;
+    up_ = false;
+    // Order matters: the MAC must be quiet before the radio dies so the
+    // PHY wipe never triggers busy-edge callbacks into a live state
+    // machine, and queue flushes (which may wake gated sources) already
+    // see the node as down.
+    mac_.quiesce();
+    phy_.power_off();
+}
+
+void Node::revive()
+{
+    if (up_) return;
+    up_ = true;
+    phy_.power_on();
+    mac_.revive();
 }
 
 void Node::mac_rx(const phy::Frame& frame)
@@ -50,8 +82,10 @@ void Node::mac_rx(const phy::Frame& frame)
     }
     const NodeId next = routing_.next_hop_or_none(packet.flow_id, id_);
     if (next == RoutingTable::kNoNextHop) {
-        // Mis-routed packet (should not happen with static routing).
-        throw std::logic_error("Node::mac_rx: no route for forwarded packet");
+        // The flow was suspended or re-routed around this node while the
+        // packet was in flight: it dies here, accounted.
+        ++drops_unroutable_;
+        return;
     }
     ++forwarded_;
     const mac::QueueKey key{next, /*own_traffic=*/false};

@@ -69,12 +69,31 @@ public:
     /// the MAC. Used by the rate-pacing EZ-Flow variant (core/pacer.h).
     /// At most one interceptor can be installed.
     void set_forward_interceptor(ForwardInterceptor interceptor);
+    /// Whether an interceptor is installed — the pacer holds packets
+    /// outside the MAC queues, so the end-to-end drop audit must stand
+    /// down when this is true.
+    bool has_interceptor() const { return static_cast<bool>(interceptor_); }
+
+    // --- fault injection (orchestrated by Network::set_node_down/up) ---
+    /// Quiesce the MAC (flushing queues into drops_node_down) and kill
+    /// the radio. The caller detaches the PHY from the channel.
+    void teardown();
+    /// Power the radio back on and revive the MAC. The caller reattaches
+    /// the PHY to the channel first.
+    void revive();
+    bool is_up() const { return up_; }
 
     // Forwarding statistics.
     std::uint64_t forwarded() const { return forwarded_; }
     std::uint64_t delivered() const { return delivered_; }
     std::uint64_t forward_queue_drops() const { return forward_queue_drops_; }
     std::uint64_t source_queue_drops() const { return source_queue_drops_; }
+    /// Packets refused because this node was down (send/forward into a
+    /// quiesced MAC); queue flushes count separately, per queue.
+    std::uint64_t drops_node_down() const { return drops_node_down_; }
+    /// Packets abandoned because the flow had no next hop here (flow
+    /// suspended after a partition, or repair in progress).
+    std::uint64_t drops_unroutable() const { return drops_unroutable_; }
 
     // --- mac::MacCallbacks ---
     void mac_rx(const phy::Frame& frame) override;
@@ -95,10 +114,13 @@ private:
     std::vector<TxEventHandler> tx_success_;
     ForwardInterceptor interceptor_;
 
+    bool up_ = true;
     std::uint64_t forwarded_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t forward_queue_drops_ = 0;
     std::uint64_t source_queue_drops_ = 0;
+    std::uint64_t drops_node_down_ = 0;
+    std::uint64_t drops_unroutable_ = 0;
 };
 
 }  // namespace ezflow::net

@@ -6,7 +6,7 @@
 
 namespace ezflow::net {
 
-void StaticRouting::add_flow(int flow_id, std::vector<NodeId> path)
+std::vector<NodeId> StaticRouting::validated(std::vector<NodeId> path)
 {
     if (path.size() < 2) throw std::invalid_argument("StaticRouting::add_flow: path too short");
     for (NodeId n : path) {
@@ -16,17 +16,68 @@ void StaticRouting::add_flow(int flow_id, std::vector<NodeId> path)
     std::set<NodeId> seen(path.begin(), path.end());
     if (seen.size() != path.size())
         throw std::invalid_argument("StaticRouting::add_flow: path revisits a node");
+    return path;
+}
+
+void StaticRouting::record_change(int flow_id)
+{
+    ++version_;
+    change_log_.push_back(FlowChange{version_, flow_id});
+    // Bound the log: drop the older half once it grows past 1024 entries
+    // and remember the highest pruned version so tables compiled before
+    // it know the replay is incomplete and fall back to a full compile.
+    constexpr std::size_t kLogCapacity = 1024;
+    if (change_log_.size() > kLogCapacity) {
+        const std::size_t drop = change_log_.size() / 2;
+        log_floor_ = change_log_[drop - 1].version;
+        change_log_.erase(change_log_.begin(),
+                          change_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+}
+
+void StaticRouting::add_flow(int flow_id, std::vector<NodeId> path)
+{
+    path = validated(std::move(path));
     if (paths_.count(flow_id) > 0)
         throw std::invalid_argument("StaticRouting::add_flow: duplicate flow id");
     paths_[flow_id] = std::move(path);
     ++version_;
+    ++structure_version_;
+}
+
+void StaticRouting::update_flow(int flow_id, std::vector<NodeId> path)
+{
+    path = validated(std::move(path));
+    const auto it = paths_.find(flow_id);
+    if (it == paths_.end()) throw std::invalid_argument("StaticRouting::update_flow: unknown flow");
+    it->second = std::move(path);
+    suspended_.erase(flow_id);
+    record_change(flow_id);
+}
+
+void StaticRouting::suspend_flow(int flow_id)
+{
+    if (paths_.count(flow_id) == 0)
+        throw std::invalid_argument("StaticRouting::suspend_flow: unknown flow");
+    if (!suspended_.insert(flow_id).second) return;
+    record_change(flow_id);
+}
+
+void StaticRouting::resume_flow(int flow_id)
+{
+    if (paths_.count(flow_id) == 0)
+        throw std::invalid_argument("StaticRouting::resume_flow: unknown flow");
+    if (suspended_.erase(flow_id) == 0) return;
+    record_change(flow_id);
 }
 
 NodeId StaticRouting::next_hop(int flow_id, NodeId node) const
 {
     const auto& p = path(flow_id);
-    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
-        if (p[i] == node) return p[i + 1];
+    if (suspended_.count(flow_id) == 0) {
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+            if (p[i] == node) return p[i + 1];
+        }
     }
     throw std::invalid_argument("StaticRouting::next_hop: node has no next hop on this flow");
 }
@@ -35,6 +86,7 @@ bool StaticRouting::has_next_hop(int flow_id, NodeId node) const
 {
     const auto it = paths_.find(flow_id);
     if (it == paths_.end()) return false;
+    if (suspended_.count(flow_id) > 0) return false;
     const auto& p = it->second;
     for (std::size_t i = 0; i + 1 < p.size(); ++i)
         if (p[i] == node) return true;
@@ -99,10 +151,59 @@ void RoutingTable::compile() const
     next_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(node_stride_),
                  kNoNextHop);
     for (std::int32_t row = 0; row < rows_; ++row) {
-        const auto& p = builder_->path(ids[static_cast<std::size_t>(row)]);
+        const int flow_id = ids[static_cast<std::size_t>(row)];
+        // Suspended flows keep their row (the node axis covers their
+        // path so a later resume patches in place) but answer kNoNextHop
+        // everywhere, matching the builder.
+        if (builder_->is_suspended(flow_id)) continue;
+        const auto& p = builder_->path(flow_id);
         NodeId* base = next_.data() + static_cast<std::size_t>(row) *
                                           static_cast<std::size_t>(node_stride_);
         for (std::size_t i = 0; i + 1 < p.size(); ++i) base[p[i] - node_base_] = p[i + 1];
+    }
+    compiled_version_ = builder_->version();
+    compiled_structure_version_ = builder_->structure_version();
+}
+
+bool RoutingTable::patch_flow(int flow_id) const
+{
+    const std::int64_t row = flow_row(flow_id);
+    if (row < 0) return false;
+    if (!builder_->is_suspended(flow_id)) {
+        // Reject before touching the row: a path that stepped outside the
+        // compiled node axis needs a full compile to widen the stride.
+        for (NodeId n : builder_->path(flow_id)) {
+            const std::int64_t slot = static_cast<std::int64_t>(n) - node_base_;
+            if (slot < 0 || slot >= node_stride_) return false;
+        }
+    }
+    NodeId* base =
+        next_.data() + static_cast<std::size_t>(row) * static_cast<std::size_t>(node_stride_);
+    std::fill(base, base + node_stride_, kNoNextHop);
+    if (!builder_->is_suspended(flow_id)) {
+        const auto& p = builder_->path(flow_id);
+        for (std::size_t i = 0; i + 1 < p.size(); ++i) base[p[i] - node_base_] = p[i + 1];
+    }
+    return true;
+}
+
+void RoutingTable::refresh() const
+{
+    // Incremental repair only applies when the flow set itself is stable
+    // and the change log still reaches back to the compiled version;
+    // otherwise rebuild everything.
+    if (compiled_version_ == ~std::uint64_t{0} ||
+        compiled_structure_version_ != builder_->structure_version() ||
+        compiled_version_ < builder_->change_log_floor()) {
+        compile();
+        return;
+    }
+    for (const StaticRouting::FlowChange& change : builder_->change_log()) {
+        if (change.version <= compiled_version_) continue;
+        if (!patch_flow(change.flow_id)) {
+            compile();
+            return;
+        }
     }
     compiled_version_ = builder_->version();
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "net/network.h"
 
 namespace ezflow::net {
@@ -25,6 +26,10 @@ struct Scenario {
     /// Human-readable node labels matching the paper's figures
     /// (e.g. "N1", "N0'" on the testbed map).
     std::map<NodeId, std::string> labels;
+    /// Scheduled node/link fault events (empty for the canned paper
+    /// scenarios). Executed by a sim::FaultInjector when the scenario is
+    /// run through analysis::Experiment.
+    FaultPlan faults;
 };
 
 /// Common defaults used by all scenarios: ns-2 ranges (250 m delivery,

@@ -20,6 +20,30 @@ void Channel::attach(NodePhy& phy)
     reach_.clear();  // topology grew: rebuild lazily on the next transmit
 }
 
+void Channel::detach(NodePhy& phy)
+{
+    const auto it = index_by_id_.find(phy.id());
+    if (it == index_by_id_.end() || phys_[it->second] != &phy)
+        throw std::invalid_argument("Channel::detach: phy not attached");
+    const std::size_t gone = it->second;
+    phys_.erase(phys_.begin() + static_cast<std::ptrdiff_t>(gone));
+    index_by_id_.erase(it);
+    for (auto& [id, index] : index_by_id_)
+        if (index > gone) --index;
+    phy.set_channel(nullptr);
+    // Symmetric invalidation with attach: ensure_reach only compares
+    // sizes, so a detach followed by an attach of another node would
+    // otherwise leave the cache at the same size but pointing at the
+    // dead PHY.
+    reach_.clear();
+}
+
+bool Channel::is_attached(const NodePhy& phy) const
+{
+    const auto it = index_by_id_.find(phy.id());
+    return it != index_by_id_.end() && phys_[it->second] == &phy;
+}
+
 void Channel::set_models(const PhyModelConfig& config, std::uint64_t network_seed)
 {
     if (config.is_reference()) return;  // exact no-op: golden-pinned path
@@ -107,11 +131,6 @@ double Channel::link_loss(net::NodeId tx, net::NodeId rx) const
 {
     const auto* model = error_models_.find(tx, rx);
     return model == nullptr ? 0.0 : (*model)->mean_loss();
-}
-
-void Channel::set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params)
-{
-    set_link_error_model(tx, rx, make_gilbert(params));
 }
 
 double Channel::sample_link_loss(net::NodeId tx, net::NodeId rx)

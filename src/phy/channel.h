@@ -60,6 +60,16 @@ public:
     /// sets are rebuilt lazily after every attach.
     void attach(NodePhy& phy);
 
+    /// Remove a PHY from the medium (node death). The reachability cache
+    /// is invalidated symmetrically with attach — a same-size detach +
+    /// attach cycle can never serve stale sets — and signal-end events
+    /// already in flight keep their pooled frame references, so they
+    /// drain without touching the channel. Throws if not attached.
+    void detach(NodePhy& phy);
+
+    /// Whether this PHY is currently attached to the medium.
+    bool is_attached(const NodePhy& phy) const;
+
     // --- pluggable models ---
     /// Install the full model selection in one call. A reference config is
     /// an exact no-op (models stay null, semantics stay the inlined
@@ -93,11 +103,7 @@ public:
     /// Long-run mean loss of the link's installed error model (0 if none).
     double link_loss(net::NodeId tx, net::NodeId rx) const;
 
-    /// Deprecated: install a Gilbert–Elliott process via
-    /// `set_link_error_model(tx, rx, make_gilbert(params))` instead.
     using GilbertParams = phy::GilbertParams;
-    [[deprecated("use set_link_error_model(tx, rx, make_gilbert(params))")]] void
-    set_link_gilbert(net::NodeId tx, net::NodeId rx, GilbertParams params);
 
     /// Stationary loss fraction of a Gilbert link (for tests/calibration).
     static double gilbert_stationary_loss(const GilbertParams& params)

@@ -42,8 +42,31 @@ void NodePhy::start_tx(Frame frame)
     channel_->transmit(*this, std::move(frame));
 }
 
+void NodePhy::power_off()
+{
+    powered_ = false;
+    power_cycled_ = true;
+    // Wipe everything on the air at this node. No listener callbacks: the
+    // MAC was quiesced before the radio died, and a busy->idle edge here
+    // must not restart its contention machinery.
+    active_.clear();
+    sensed_active_ = 0;
+    ledger_w_ = 0.0;
+    transmitting_ = false;
+    rx_active_ = false;
+    rx_corrupted_ = false;
+    last_rx_error_ = false;
+    last_busy_ = false;
+}
+
+void NodePhy::power_on()
+{
+    powered_ = true;
+}
+
 void NodePhy::signal_start(const RxEvent& rx)
 {
+    if (!powered_) return;  // dead radios hear nothing (and are detached anyway)
     active_.push_back(ActiveSignal{rx.signal_id, rx.power_w, rx.sensed});
     ledger_w_ += rx.power_w;
     if (rx.sensed) ++sensed_active_;
@@ -79,7 +102,13 @@ void NodePhy::signal_end(std::uint64_t signal_id, const Frame& frame)
 {
     const auto it = std::find_if(active_.begin(), active_.end(),
                                  [signal_id](const ActiveSignal& s) { return s.id == signal_id; });
-    if (it == active_.end()) throw std::logic_error("NodePhy::signal_end: unknown signal");
+    if (it == active_.end()) {
+        // A power cycle wiped the signal this end-event refers to; the
+        // event itself could not be cancelled (the channel schedules it
+        // without keeping a handle). Only then is the miss legitimate.
+        if (power_cycled_) return;
+        throw std::logic_error("NodePhy::signal_end: unknown signal");
+    }
     const bool was_sensed = it->sensed;
     ledger_w_ -= it->power_w;
     active_.erase(it);
@@ -107,7 +136,10 @@ void NodePhy::signal_end(std::uint64_t signal_id, const Frame& frame)
 
 void NodePhy::tx_end(const Frame& frame)
 {
-    if (!transmitting_) throw std::logic_error("NodePhy::tx_end: not transmitting");
+    if (!transmitting_) {
+        if (power_cycled_) return;  // transmission wiped by a power cycle
+        throw std::logic_error("NodePhy::tx_end: not transmitting");
+    }
     transmitting_ = false;
     update_busy();
     if (listener_ != nullptr) listener_->phy_tx_done(frame);

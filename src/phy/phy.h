@@ -94,6 +94,18 @@ public:
     /// Own transmission ended (scheduled by the channel).
     void tx_end(const Frame& frame);
 
+    // --- power cycling (fault injection) ---
+    /// Kill the radio: wipe every live reception, the interference
+    /// ledger, carrier-sense state and any transmission in progress —
+    /// silently, without listener callbacks (the MAC is quiesced first).
+    /// Signal-end / tx-end events already scheduled against this PHY
+    /// become tolerated no-ops instead of logic errors, because the
+    /// frames they refer to were wiped here, not lost by a bug.
+    void power_off();
+    /// Bring the radio back (typically right after Channel::attach).
+    void power_on();
+    bool powered() const { return powered_; }
+
     // --- rate adaptation (MAC-facing, forwards to the channel's manager) ---
     /// Rate for the next data attempt to `rx`; 0 means the PHY default
     /// (leave the frame unstamped).
@@ -136,6 +148,11 @@ private:
     int sensed_active_ = 0;  ///< sensed members of active_ (O(1) carrier sense)
     bool transmitting_ = false;
     bool last_busy_ = false;
+    bool powered_ = true;
+    /// Set once the PHY has ever been power-cycled: from then on, stale
+    /// signal-end/tx-end events referring to wiped state are silently
+    /// ignored rather than treated as scheduler-integrity violations.
+    bool power_cycled_ = false;
 
     bool rx_active_ = false;
     std::uint64_t rx_signal_id_ = 0;

@@ -83,12 +83,33 @@ const Source::Stats& Source::stats()
     return stats_;
 }
 
+bool Source::routable() const
+{
+    return network_.node_is_up(src_node_) && !network_.routing().is_suspended(flow_id_);
+}
+
 void Source::emit()
 {
     if (scheduler_->now() >= stop_at_) {
         chain_dead_ = true;
         return;
     }
+
+    if (!routable()) {
+        // The source node is down or the flow is suspended (partition).
+        // Pause the application: nothing is generated (no next_interval
+        // draw — the CBR/Poisson chain resumes where it left off) and
+        // the probe backs off exponentially instead of spinning.
+        ++stats_.backoff_retries;
+        const SimTime delay = retry_backoff_us_;
+        retry_backoff_us_ = std::min(retry_backoff_us_ * 2, kRetryBackoffMaxUs);
+        chain_scheduled_at_ = scheduler_->now();
+        next_emit_at_ = scheduler_->now() + delay;
+        virtual_chain_seq_ = kUnknownSeq;
+        scheduler_->schedule_at(next_emit_at_, [this] { emit(); });
+        return;
+    }
+    retry_backoff_us_ = kRetryBackoffBaseUs;
 
     net::Packet packet;
     packet.uid = next_uid_base_ + next_seq_;

@@ -53,6 +53,11 @@ public:
         /// Generations accounted in closed form instead of an event each
         /// (a subset of dropped_at_source; 0 with gating disabled).
         std::uint64_t gated_skips = 0;
+        /// Retry waits taken because the flow was unroutable (source node
+        /// down or flow suspended). The application pauses — no
+        /// generations, no drops — and re-probes with exponential
+        /// backoff instead of spinning one doomed send per period.
+        std::uint64_t backoff_retries = 0;
     };
 
     Source(net::Network& network, int flow_id, int payload_bytes);
@@ -88,6 +93,11 @@ protected:
 
 private:
     void emit();
+    /// Whether a packet generated now could leave this node at all: the
+    /// source node is up and the flow has not been suspended by route
+    /// repair. Checked before generating so an outage produces a paused
+    /// application, not a stream of spurious per-period drops.
+    bool routable() const;
     /// Account generations the reference would have dropped while the
     /// queue stayed full, up to `horizon`. `include_boundary`: whether a
     /// generation exactly at `horizon` fires before the running event
@@ -134,6 +144,12 @@ private:
     static constexpr std::uint64_t kUnknownSeq = ~0ull;
     std::uint64_t virtual_chain_seq_ = kUnknownSeq;
     bool chain_dead_ = false;  ///< left [start, stop): no more generations
+
+    /// Retry-with-backoff while unroutable: doubling wait, reset on the
+    /// first routable emission.
+    static constexpr SimTime kRetryBackoffBaseUs = 10'000;  ///< 10 ms
+    static constexpr SimTime kRetryBackoffMaxUs = 200'000;  ///< 200 ms
+    SimTime retry_backoff_us_ = kRetryBackoffBaseUs;
 };
 
 /// Constant bit rate source (the paper's workload: CBR at 2 Mb/s to keep

@@ -1,0 +1,425 @@
+// Fault injection & churn: graceful node teardown/revival through every
+// layer, incremental route repair, source pause/resume, and the drop
+// accounting that must balance through all of it.
+//
+// The teardown lifetime scan is the heart: killing a node at many
+// instants across an active period catches it mid-transmission,
+// mid-backoff, mid-DIFS and (under the SINR ledger) while frames are
+// locked in the interference ledger — every case must drain without a
+// FramePool leak and with every queue's conservation law intact. CI runs
+// this suite under ASan+UBSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/drop_audit.h"
+#include "analysis/experiment.h"
+#include "analysis/experiment_factory.h"
+#include "experiment_fingerprint.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+#include "net/topo_gen.h"
+#include "net/topologies.h"
+#include "phy/channel.h"
+#include "phy/phy.h"
+#include "sim/fault_injector.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ezflow {
+namespace {
+
+using analysis::ExperimentFactory;
+using analysis::ExperimentOptions;
+using analysis::ScenarioSpec;
+
+// ------------------------------------------------------- FaultPlan units
+
+TEST(FaultPlan, BuilderAndSortedTimeline)
+{
+    net::FaultPlan plan;
+    plan.node_down(2.0, 3).link_down(1.0, 0, 1).node_up(4.0, 3).link_up(3.0, 0, 1);
+    EXPECT_FALSE(plan.empty());
+    const auto sorted = plan.sorted();
+    ASSERT_EQ(sorted.size(), 4u);
+    EXPECT_EQ(sorted[0].kind, net::FaultKind::kLinkDown);
+    EXPECT_EQ(sorted[1].kind, net::FaultKind::kNodeDown);
+    EXPECT_EQ(sorted[2].kind, net::FaultKind::kLinkUp);
+    EXPECT_EQ(sorted[3].kind, net::FaultKind::kNodeUp);
+    EXPECT_EQ(sorted[1].node, 3);
+    EXPECT_EQ(sorted[0].a, 0);
+    EXPECT_EQ(sorted[0].b, 1);
+}
+
+TEST(FaultPlan, RandomChurnIsSeededAndWellFormed)
+{
+    net::ChurnSpec spec;
+    spec.candidates = {1, 2, 3, 4};
+    spec.cycles = 8;
+    spec.from_s = 10.0;
+    spec.to_s = 60.0;
+    spec.min_down_s = 1.0;
+    spec.max_down_s = 4.0;
+    const net::FaultPlan a = net::FaultPlan::random_churn(spec, 42);
+    const net::FaultPlan b = net::FaultPlan::random_churn(spec, 42);
+    const net::FaultPlan c = net::FaultPlan::random_churn(spec, 43);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].at, b.events[i].at);
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].node, b.events[i].node);
+    }
+    // Different seeds draw a different timeline.
+    bool differs = a.events.size() != c.events.size();
+    for (std::size_t i = 0; !differs && i < a.events.size(); ++i)
+        differs = a.events[i].at != c.events[i].at || a.events[i].node != c.events[i].node;
+    EXPECT_TRUE(differs);
+
+    // Every cycle is a paired down/up inside the window, and one node's
+    // cycles never overlap.
+    std::map<net::NodeId, util::SimTime> down_since;
+    std::map<net::NodeId, util::SimTime> last_up;
+    for (const net::FaultEvent& event : a.sorted()) {
+        EXPECT_GE(event.at, util::from_seconds(spec.from_s));
+        EXPECT_LE(event.at, util::from_seconds(spec.to_s));
+        EXPECT_TRUE(std::count(spec.candidates.begin(), spec.candidates.end(), event.node) > 0);
+        if (event.kind == net::FaultKind::kNodeDown) {
+            EXPECT_EQ(down_since.count(event.node), 0u) << "overlapping cycles";
+            if (last_up.count(event.node)) {
+                EXPECT_GT(event.at, last_up[event.node]);
+            }
+            down_since[event.node] = event.at;
+        } else {
+            ASSERT_EQ(event.kind, net::FaultKind::kNodeUp);
+            ASSERT_EQ(down_since.count(event.node), 1u);
+            const util::SimTime down_for = event.at - down_since[event.node];
+            EXPECT_GE(down_for, util::from_seconds(spec.min_down_s));
+            EXPECT_LE(down_for, util::from_seconds(spec.max_down_s));
+            down_since.erase(event.node);
+            last_up[event.node] = event.at;
+        }
+    }
+    EXPECT_TRUE(down_since.empty()) << "unpaired node_down";
+}
+
+// ------------------------------------- routing: incremental repair units
+
+TEST(RoutingRepair, UpdateSuspendResumeMatchFreshBuilder)
+{
+    // Property check: after any batch of update/suspend/resume, the
+    // incrementally repaired RoutingTable answers every probe exactly
+    // like a freshly built reference (builder + full compile).
+    util::Rng rng(7);
+    net::StaticRouting routing;
+    net::RoutingTable table(routing);
+    const std::vector<std::vector<net::NodeId>> pool = {
+        {0, 1, 2, 3}, {3, 2, 1, 0}, {0, 4, 8}, {8, 4, 0}, {1, 5, 9, 13}, {2, 6, 10}};
+    for (int f = 1; f <= 6; ++f) routing.add_flow(f, pool[static_cast<std::size_t>(f - 1)]);
+    (void)table.next_hop(1, 0);  // force the initial compile
+
+    std::uint64_t expected_version = routing.version();
+    for (int step = 0; step < 300; ++step) {
+        const int flow = rng.uniform_int(1, 6);
+        switch (rng.uniform_int(0, 2)) {
+            case 0:
+                routing.update_flow(flow, pool[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+                ++expected_version;
+                break;
+            case 1:
+                if (!routing.is_suspended(flow)) ++expected_version;  // idempotent otherwise
+                routing.suspend_flow(flow);
+                break;
+            default:
+                if (routing.is_suspended(flow)) ++expected_version;
+                routing.resume_flow(flow);
+                break;
+        }
+        // Fresh reference over the same builder state.
+        net::StaticRouting reference;
+        for (int f = 1; f <= 6; ++f) {
+            reference.add_flow(f, routing.path(f));
+            if (routing.is_suspended(f)) reference.suspend_flow(f);
+        }
+        net::RoutingTable fresh(reference);
+        for (int f = 1; f <= 6; ++f) {
+            for (net::NodeId node = 0; node <= 13; ++node) {
+                EXPECT_EQ(table.has_next_hop(f, node), fresh.has_next_hop(f, node))
+                    << "step " << step << " flow " << f << " node " << node;
+                EXPECT_EQ(table.next_hop_or_none(f, node), fresh.next_hop_or_none(f, node))
+                    << "step " << step << " flow " << f << " node " << node;
+            }
+        }
+    }
+    // 300 single-flow changes against an initial compile: the change log
+    // must have carried them (no structure growth), and every effective
+    // mutation — and only those — bumped the version.
+    EXPECT_EQ(routing.structure_version(), 6u);
+    EXPECT_EQ(routing.version(), expected_version);
+}
+
+TEST(RoutingRepair, SuspendedFlowHasNoNextHops)
+{
+    net::StaticRouting routing;
+    routing.add_flow(1, {0, 1, 2});
+    net::RoutingTable table(routing);
+    EXPECT_EQ(table.next_hop(1, 0), 1);
+    routing.suspend_flow(1);
+    EXPECT_FALSE(table.has_next_hop(1, 0));
+    EXPECT_EQ(table.next_hop_or_none(1, 0), net::RoutingTable::kNoNextHop);
+    EXPECT_THROW(routing.next_hop(1, 0), std::invalid_argument);
+    routing.resume_flow(1);
+    EXPECT_EQ(table.next_hop(1, 0), 1);
+    EXPECT_EQ(routing.path(1), (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(RoutingRepair, ChangeLogPruningFallsBackToFullCompile)
+{
+    net::StaticRouting routing;
+    routing.add_flow(1, {0, 1});
+    routing.add_flow(2, {1, 2});
+    net::RoutingTable table(routing);
+    (void)table.next_hop(1, 0);
+    // Blow far past the log capacity so the compiled version falls below
+    // the floor; the table must recover via a full compile.
+    for (int i = 0; i < 5000; ++i) routing.update_flow(2, i % 2 ? std::vector<net::NodeId>{2, 1}
+                                                                : std::vector<net::NodeId>{1, 2});
+    EXPECT_GT(routing.change_log_floor(), 0u);
+    EXPECT_EQ(table.next_hop(2, 2), 1);  // last update left the path {2, 1}
+    EXPECT_EQ(table.next_hop(1, 0), 1);
+}
+
+// ----------------------------------------- channel detach/attach symmetry
+
+TEST(ChannelDetach, ReachCacheInvalidatedSymmetrically)
+{
+    sim::Scheduler scheduler;
+    phy::PhyParams params;
+    phy::Channel channel(scheduler, util::Rng(5), params);
+    std::vector<std::unique_ptr<phy::NodePhy>> phys;
+    for (int i = 0; i < 4; ++i) {
+        phys.push_back(
+            std::make_unique<phy::NodePhy>(i, phy::Position{i * 200.0, 0.0}, scheduler));
+        channel.attach(*phys.back());
+    }
+    EXPECT_EQ(channel.reachable_count(1), 3u);  // 550 m cs: two hops each side
+    EXPECT_TRUE(channel.is_attached(*phys[2]));
+
+    // Detach after the cache was built: the cull must forget node 2 (the
+    // staleness hazard — an early-return on reach_.size() would keep
+    // serving the dead node).
+    channel.detach(*phys[2]);
+    EXPECT_FALSE(channel.is_attached(*phys[2]));
+    EXPECT_EQ(channel.reachable_count(1), 2u);
+    EXPECT_THROW(channel.reachable_count(2), std::invalid_argument);
+    EXPECT_THROW(channel.detach(*phys[2]), std::invalid_argument);
+
+    // Reattach: symmetric rebuild.
+    channel.attach(*phys[2]);
+    EXPECT_EQ(channel.reachable_count(1), 3u);
+    EXPECT_EQ(channel.reachable_count(2), 3u);
+}
+
+// ------------------------------------------------- teardown lifetime scan
+
+/// One kill/revive cycle on a 4-hop chain, killing relay 2 at
+/// `kill_us` and reviving 300 ms later. Returns the run's fingerprint.
+/// Asserts zero FramePool leakage and exact queue/MAC conservation
+/// afterwards — whatever MAC/PHY state the kill interrupted.
+std::vector<std::uint64_t> chain_kill_cycle(util::SimTime kill_us, bool sinr_ledger,
+                                            bool cull = true)
+{
+    ScenarioSpec spec = ScenarioSpec::line(4, /*duration_s=*/1.2);
+    if (sinr_ledger) spec.models.interference = phy::PhyModelConfig::Interference::kSinrLedger;
+    spec.faults.events.push_back(
+        {kill_us, net::FaultKind::kNodeDown, /*node=*/2, -1, -1});
+    spec.faults.events.push_back(
+        {kill_us + 300'000, net::FaultKind::kNodeUp, /*node=*/2, -1, -1});
+    ExperimentFactory factory(spec, ExperimentOptions{});
+    std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/11);
+    net::ReferenceModeFlags flags;
+    flags.reachability_cull = cull;
+    experiment->network().set_reference_mode(flags);
+    experiment->run();
+    // Run far past the stop so every in-flight signal end has fired.
+    experiment->run_until_s(10.0);
+
+    net::Network& network = experiment->network();
+    EXPECT_EQ(network.channel().frame_pool().live(), 0u) << "kill at " << kill_us;
+    analysis::audit_drop_accounting(*experiment);  // throws on any leak
+    const sim::FaultInjector* injector = experiment->fault_injector();
+    EXPECT_EQ(injector->stats().node_downs, 1u);
+    EXPECT_EQ(injector->stats().node_ups, 1u);
+    // A 1-wide chain has no detour: the flow suspends and restores.
+    EXPECT_EQ(injector->stats().flows_suspended, 1u);
+    EXPECT_EQ(injector->stats().flows_restored, 1u);
+    return testutil::experiment_fingerprint(*experiment);
+}
+
+TEST(FaultLifetime, KillScanAcrossActivePeriodLeaksNothing)
+{
+    // 5-s start + CBR at 2 Mb/s saturates immediately; sweeping the kill
+    // instant at sub-slot offsets catches the MAC mid-DIFS, mid-backoff,
+    // mid-data, mid-ACK-wait and the PHY mid-signal.
+    for (int i = 0; i < 12; ++i) {
+        const util::SimTime kill = util::from_seconds(5.2) + i * 13'777;
+        chain_kill_cycle(kill, /*sinr_ledger=*/false);
+    }
+}
+
+TEST(FaultLifetime, KillScanUnderSinrLedger)
+{
+    // The SINR ledger holds locked frame references during reception;
+    // killing the receiver mid-lock must still release every record.
+    for (int i = 0; i < 8; ++i) {
+        const util::SimTime kill = util::from_seconds(5.2) + i * 17'333;
+        chain_kill_cycle(kill, /*sinr_ledger=*/true);
+    }
+}
+
+TEST(FaultLifetime, CullMatchesBroadcastAcrossDownUpCycle)
+{
+    // Satellite of the reach-cache fix: the culled channel must produce
+    // the exact run the full-broadcast reference produces across a
+    // detach/reattach cycle (decode-for-decode, event-for-event).
+    const util::SimTime kill = util::from_seconds(5.35);
+    EXPECT_EQ(chain_kill_cycle(kill, false, /*cull=*/true),
+              chain_kill_cycle(kill, false, /*cull=*/false));
+}
+
+// -------------------------------------------- source pause / repair flow
+
+TEST(FaultFlow, GatewayDeathPausesSourcesAndRecovers)
+{
+    net::GridSpec grid;
+    grid.cols = 4;
+    grid.rows = 4;
+    grid.sources = 3;
+    grid.duration_s = 12.0;
+    ScenarioSpec spec = ScenarioSpec::grid_gateway(grid);
+    spec.faults.node_down(9.0, 0).node_up(13.0, 0);
+    ExperimentFactory factory(spec, ExperimentOptions{});
+    std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/3);
+
+    experiment->run_until_s(8.9);
+    std::uint64_t delivered_before = 0;
+    for (int id = 0; id < experiment->network().node_count(); ++id)
+        delivered_before += experiment->network().node(id).delivered();
+    EXPECT_GT(delivered_before, 0u);
+
+    // Mid-outage: gateway down, every flow suspended, sources pausing.
+    experiment->run_until_s(12.9);
+    EXPECT_FALSE(experiment->network().node_is_up(0));
+    for (int f = 1; f <= grid.sources; ++f)
+        EXPECT_TRUE(experiment->network().routing().is_suspended(f)) << "flow " << f;
+    std::uint64_t delivered_outage = 0;
+    for (int id = 0; id < experiment->network().node_count(); ++id)
+        delivered_outage += experiment->network().node(id).delivered();
+
+    // After revival: flows restored, delivery resumes, sources backed off
+    // while the destination was gone.
+    experiment->run();
+    EXPECT_TRUE(experiment->network().node_is_up(0));
+    std::uint64_t delivered_after = 0;
+    for (int id = 0; id < experiment->network().node_count(); ++id)
+        delivered_after += experiment->network().node(id).delivered();
+    EXPECT_GT(delivered_after, delivered_outage);
+    std::uint64_t backoffs = 0;
+    for (const auto& source : experiment->sources()) backoffs += source->stats().backoff_retries;
+    EXPECT_GT(backoffs, 0u);
+    for (int f = 1; f <= grid.sources; ++f)
+        EXPECT_FALSE(experiment->network().routing().is_suspended(f)) << "flow " << f;
+
+    const auto ledger = analysis::audit_drop_accounting(*experiment);
+    EXPECT_GT(ledger.generated, 0u);
+    // The outage strands in-flight packets: flushed queues at the dead
+    // node plus relays left holding frames for suspended flows.
+    EXPECT_GT(ledger.drops_node_down + ledger.drops_unroutable, 0u);
+}
+
+TEST(FaultFlow, RelayDeathReroutesWithoutSuspension)
+{
+    net::GridSpec grid;
+    grid.cols = 4;
+    grid.rows = 4;
+    grid.sources = 3;
+    grid.duration_s = 10.0;
+    ScenarioSpec spec = ScenarioSpec::grid_gateway(grid);
+    spec.faults.node_down(8.0, 1).node_up(12.0, 1);
+    ExperimentFactory factory(spec, ExperimentOptions{});
+    std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/5);
+    experiment->run();
+
+    const sim::FaultInjector* injector = experiment->fault_injector();
+    ASSERT_NE(injector, nullptr);
+    EXPECT_GT(injector->stats().flows_rerouted, 0u);
+    EXPECT_EQ(injector->stats().flows_suspended, 0u);
+    EXPECT_EQ(injector->stats().flows_restored, injector->stats().flows_rerouted);
+    // Restoration is exact: every flow ends on its planner-original path.
+    for (const net::FlowPlan& plan : experiment->scenario().flows)
+        EXPECT_EQ(experiment->network().routing().path(plan.flow_id), plan.path);
+    analysis::audit_drop_accounting(*experiment);
+}
+
+TEST(FaultFlow, ChurnedRunBalancesItsLedger)
+{
+    // Seeded random churn over the relay column: many down/up cycles,
+    // every one repaired, and the whole run's ledger still partitions.
+    net::GridSpec grid;
+    grid.cols = 4;
+    grid.rows = 3;
+    grid.sources = 3;
+    grid.duration_s = 25.0;
+    ScenarioSpec spec = ScenarioSpec::grid_gateway(grid);
+    net::ChurnSpec churn;
+    churn.candidates = {1, 2, 4, 5};
+    churn.cycles = 6;
+    churn.from_s = 7.0;
+    churn.to_s = 28.0;
+    churn.min_down_s = 0.5;
+    churn.max_down_s = 2.0;
+    spec.faults = net::FaultPlan::random_churn(churn, 99);
+    ASSERT_FALSE(spec.faults.empty());
+    ExperimentFactory factory(spec, ExperimentOptions{});
+    std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/17);
+    experiment->run();
+    experiment->run_until_s(40.0);
+    EXPECT_EQ(experiment->network().channel().frame_pool().live(), 0u);
+    const auto ledger = analysis::audit_drop_accounting(*experiment);
+    EXPECT_GT(ledger.generated, 0u);
+    const sim::FaultInjector* injector = experiment->fault_injector();
+    EXPECT_EQ(injector->stats().node_downs, injector->stats().node_ups);
+    EXPECT_GT(injector->stats().node_downs, 0u);
+}
+
+TEST(FaultInjectorGuards, MultiShardNetworkRefused)
+{
+    // Route repair mutates the shared routing builder; the injector must
+    // refuse a genuinely sharded network outright.
+    net::IslandsSpec islands;
+    islands.islands = 2;
+    islands.cols = 3;
+    islands.rows = 2;
+    islands.sources = 1;
+    islands.max_shards = 2;
+    net::Scenario scenario = net::make_islands(islands, /*seed=*/1);
+    ASSERT_GT(scenario.network->shard_count(), 1);
+    net::FaultPlan plan;
+    plan.node_down(1.0, 1).node_up(2.0, 1);
+    EXPECT_THROW(sim::FaultInjector(*scenario.network, plan), std::invalid_argument);
+}
+
+TEST(FaultInjectorGuards, DeterministicAcrossRepeatedRuns)
+{
+    // Same spec + seed -> byte-identical fingerprint, fault plan and all.
+    const util::SimTime kill = util::from_seconds(5.3);
+    EXPECT_EQ(chain_kill_cycle(kill, false), chain_kill_cycle(kill, false));
+}
+
+}  // namespace
+}  // namespace ezflow

@@ -57,21 +57,18 @@ TEST(Gilbert, LinkLossReportsInstalledModelMean)
     EXPECT_THROW(channel.set_link_error_model(0, 1, nullptr), std::invalid_argument);
 }
 
-TEST(Gilbert, DeprecatedSetLinkGilbertShimStillWorks)
+TEST(Gilbert, ErrorModelInstallMatchesStationaryLoss)
 {
-    // The deprecated Channel::set_link_gilbert forwards to
-    // set_link_error_model(make_gilbert(...)); keep it covered until the
-    // next API-cleanup PR removes it.
+    // The one-call install path (set_link_error_model + make_gilbert)
+    // reports the model's stationary loss; the former set_link_gilbert
+    // shim is gone.
     net::Scenario s = net::make_line(1, 10, 3);
     GilbertParams params;
     params.to_bad_per_s = 1.0;
     params.to_good_per_s = 3.0;
     params.loss_bad = 0.8;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    s.network->channel().set_link_gilbert(0, 1, params);
+    s.network->channel().set_link_error_model(0, 1, make_gilbert(params));
     EXPECT_DOUBLE_EQ(Channel::gilbert_stationary_loss(params), 0.2);
-#pragma GCC diagnostic pop
     EXPECT_DOUBLE_EQ(s.network->channel().link_loss(0, 1), 0.2);
 }
 
