@@ -51,8 +51,13 @@ DropLedger collect_drop_ledger(Experiment& experiment)
 DropLedger audit_drop_accounting(Experiment& experiment)
 {
     net::Network& network = experiment.network();
-    for (net::NodeId id = 0; id < network.node_count(); ++id)
-        if (network.node(id).has_interceptor()) return DropLedger{};
+    for (net::NodeId id = 0; id < network.node_count(); ++id) {
+        if (network.node(id).has_interceptor()) {
+            DropLedger skipped;
+            skipped.status = DropLedger::Status::kSkippedInterceptor;
+            return skipped;
+        }
+    }
 
     // Exact local conservation first: it localizes a leak to one queue or
     // MAC before the end-to-end partition smears it across the network.

@@ -11,6 +11,15 @@ namespace ezflow::analysis {
 /// every generated packet must sit in exactly one bucket. Collected by
 /// audit_drop_accounting and exposed for tests and reports.
 struct DropLedger {
+    /// Whether the audit actually ran. kSkippedInterceptor means the
+    /// network had forward interceptors (the EZ-Flow pacer holds packets
+    /// outside the MAC queues), so the MAC-level ledger cannot balance
+    /// and every counter below is zero — a coverage gap, not a verified
+    /// zero-traffic run.
+    enum class Status { kBalanced, kSkippedInterceptor };
+    Status status = Status::kBalanced;
+    bool skipped() const { return status != Status::kBalanced; }
+
     std::uint64_t generated = 0;          ///< source generations (all flows)
     std::uint64_t dropped_at_source = 0;  ///< refused at the full own-queue
     std::uint64_t delivered = 0;          ///< reached a destination node
@@ -45,9 +54,11 @@ DropLedger collect_drop_ledger(Experiment& experiment);
 /// enqueued == dequeued + dropped_node_down + size; per MAC:
 /// dequeued == successes + retry_drops + [one in-service head]).
 /// Throws std::logic_error naming the violated invariant. Stands down
-/// (returns an empty ledger) when any node has a forward interceptor —
-/// the pacer holds packets outside the MAC queues, so the MAC-level
-/// ledger cannot balance.
+/// when any node has a forward interceptor — the pacer holds packets
+/// outside the MAC queues, so the MAC-level ledger cannot balance — and
+/// says so: the returned ledger carries Status::kSkippedInterceptor
+/// (all counters zero) instead of masquerading as a balanced
+/// zero-traffic run.
 DropLedger audit_drop_accounting(Experiment& experiment);
 
 }  // namespace ezflow::analysis

@@ -107,9 +107,11 @@ Experiment::FlowSummary Experiment::summarize(int flow_id, double from_s, double
     FlowSummary summary;
     summary.mean_kbps = it->second->mean_kbps(from, to);
     summary.stddev_kbps = it->second->stddev_kbps(from, to);
+    summary.throughput_samples = it->second->samples(from, to);
     if (options_.streaming) {
         // No delay series in streaming mode; report the whole-run stats.
         const util::RunningStats& delays = sink_->flow(flow_id).delay_us;
+        summary.delay_samples = delays.count();
         if (delays.count() > 0) {
             summary.mean_delay_s = delays.mean() / static_cast<double>(util::kSecond);
             summary.max_delay_s = delays.max() / static_cast<double>(util::kSecond);
@@ -117,6 +119,7 @@ Experiment::FlowSummary Experiment::summarize(int flow_id, double from_s, double
         return summary;
     }
     const util::TimeSeries& delays = sink_->flow(flow_id).delay_series;
+    summary.delay_samples = delays.count_between(from, to);
     summary.mean_delay_s = delays.mean_between(from, to) / static_cast<double>(util::kSecond);
     summary.max_delay_s = delays.max_between(from, to) / static_cast<double>(util::kSecond);
     return summary;

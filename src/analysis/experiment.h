@@ -69,11 +69,17 @@ public:
     const core::EzFlowAgent* agent(net::NodeId node) const;
 
     /// Mean/stddev goodput (kb/s) and mean delay (s) over [from_s, to_s).
+    /// The sample counts distinguish a measured zero from an unmeasured
+    /// window (throughput windows / deliveries inside the interval): the
+    /// value fields are 0.0 either way, and aggregation must not treat a
+    /// window that was never measured as a genuine zero.
     struct FlowSummary {
         double mean_kbps = 0.0;
         double stddev_kbps = 0.0;
         double mean_delay_s = 0.0;
         double max_delay_s = 0.0;
+        std::int64_t throughput_samples = 0;
+        std::int64_t delay_samples = 0;
     };
     FlowSummary summarize(int flow_id, double from_s, double to_s) const;
 

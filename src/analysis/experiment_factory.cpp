@@ -85,6 +85,15 @@ ScenarioSpec ScenarioSpec::islands_spec(const net::IslandsSpec& islands)
     return spec;
 }
 
+ScenarioSpec ScenarioSpec::clusters_spec(const net::ClustersSpec& clusters)
+{
+    ScenarioSpec spec;
+    spec.kind = Kind::kClusters;
+    spec.clusters = clusters;
+    spec.shards = clusters.max_shards;
+    return spec;
+}
+
 std::string scenario_name(const ScenarioSpec& spec)
 {
     std::ostringstream out;
@@ -110,6 +119,10 @@ std::string scenario_name(const ScenarioSpec& spec)
         case ScenarioSpec::Kind::kIslands:
             out << "islands-" << spec.islands.islands << "x" << spec.islands.cols << "x"
                 << spec.islands.rows;
+            break;
+        case ScenarioSpec::Kind::kClusters:
+            out << "clusters-" << spec.clusters.clusters << "x" << spec.clusters.cols << "x"
+                << spec.clusters.rows;
             break;
     }
     // Deliberately no shard suffix: the label feeds figure JSON, which
@@ -153,6 +166,11 @@ net::Scenario build_topology(const ScenarioSpec& spec, std::uint64_t seed)
             net::IslandsSpec islands = spec.islands;
             islands.max_shards = spec.shards;
             return net::make_islands(islands, seed);
+        }
+        case ScenarioSpec::Kind::kClusters: {
+            net::ClustersSpec clusters = spec.clusters;
+            clusters.max_shards = spec.shards;
+            return net::make_cluster_grid(clusters, seed);
         }
     }
     throw std::logic_error("build_scenario: unknown scenario kind");

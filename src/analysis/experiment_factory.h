@@ -25,6 +25,7 @@ struct ScenarioSpec {
         kParkingLot,  ///< arbitrary-length chain, staggered entry flows
         kMesh,        ///< seeded random mesh, shortest-path flows
         kIslands,     ///< disconnected grid islands (sharded-engine bench)
+        kClusters,    ///< connected clustered grids (connected-cut bench)
     };
 
     Kind kind = Kind::kScenario1;
@@ -58,6 +59,9 @@ struct ScenarioSpec {
     // kIslands knobs.
     net::IslandsSpec islands;
 
+    // kClusters knobs.
+    net::ClustersSpec clusters;
+
     /// Shard budget for generated topologies (grid / mesh / islands):
     /// the Network partitions nodes into up to this many conflict-free
     /// shards. 1 keeps the serial engine; connected topologies collapse
@@ -87,6 +91,7 @@ struct ScenarioSpec {
     static ScenarioSpec parking_lot(int hops, int flows, double duration_s);
     static ScenarioSpec random_mesh(const net::MeshSpec& mesh);
     static ScenarioSpec islands_spec(const net::IslandsSpec& islands);
+    static ScenarioSpec clusters_spec(const net::ClustersSpec& clusters);
 };
 
 std::string scenario_name(const ScenarioSpec& spec);

@@ -78,6 +78,13 @@ public:
     /// only windows that end inside the interval.
     double mean_kbps(SimTime from, SimTime to) const { return series_.mean_between(from, to); }
     double stddev_kbps(SimTime from, SimTime to) const { return series_.stddev_between(from, to); }
+    /// Windows ending inside [from, to) — 0 means the interval was never
+    /// measured (run too short / meter not yet started), as opposed to a
+    /// measured zero-goodput interval.
+    std::int64_t samples(SimTime from, SimTime to) const
+    {
+        return series_.count_between(from, to);
+    }
 
 private:
     void on_window();

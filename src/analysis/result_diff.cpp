@@ -24,6 +24,18 @@ void diff_metric(DiffReport& report, const std::string& path, const MetricStat& 
                  const MetricStat& candidate, const DiffOptions& options)
 {
     ++report.metrics_compared;
+    // n=0 marks a cell with no underlying samples (an unmeasured window):
+    // its mean is a placeholder 0.0, not a measured zero. Presence of data
+    // must match on both sides even in tolerance mode — comparing a
+    // fabricated zero against a real measurement (or vice versa) would
+    // silently pass whenever the measurement is small.
+    if ((golden.n == 0) != (candidate.n == 0)) {
+        add_finding(report, DiffFinding::Kind::kValue, path + ".n",
+                    "sample presence differs (n=0 means no data, not zero)",
+                    static_cast<double>(golden.n), static_cast<double>(candidate.n));
+        return;
+    }
+    if (golden.n == 0) return;  // both unmeasured: placeholders carry no information
     if (!within_tolerance(golden.mean, candidate.mean, options)) {
         add_finding(report, DiffFinding::Kind::kValue, path + ".mean",
                     "mean out of tolerance", golden.mean, candidate.mean);

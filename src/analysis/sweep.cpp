@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "analysis/drop_audit.h"
@@ -32,7 +33,17 @@ SeedResult run_one(const ExperimentFactory& factory, const SweepConfig& config,
     // Every swept run balances its packet ledger: the losses must
     // partition into the named drop buckets (throws on a leak or a
     // double-count, so the goldens cannot absorb an accounting bug).
-    audit_drop_accounting(*experiment);
+    // Interceptor runs (EZ-Flow pacers) cannot balance and are skipped —
+    // announce that coverage gap once per process instead of silently
+    // returning an all-zero ledger.
+    if (audit_drop_accounting(*experiment).skipped()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed))
+            std::fprintf(stderr,
+                         "[audit] drop-accounting audit skipped for runs with forward "
+                         "interceptors (pacer holds packets outside the MAC queues); "
+                         "conservation is unchecked there\n");
+    }
     net::Network& network = experiment->network();
     g_events.fetch_add(network.total_processed(), std::memory_order_relaxed);
     g_runs.fetch_add(1, std::memory_order_relaxed);
@@ -80,10 +91,20 @@ void aggregate(const SweepConfig& config, SweepResult& sweep)
             WindowAggregate& agg = sweep.windows[w];
             for (std::size_t f = 0; f < measured.flows.size(); ++f) {
                 const Experiment::FlowSummary& summary = measured.flows[f];
-                agg.flows[f].mean_kbps.add(summary.mean_kbps);
-                agg.flows[f].stddev_kbps.add(summary.stddev_kbps);
-                agg.flows[f].mean_delay_s.add(summary.mean_delay_s);
-                agg.flows[f].max_delay_s.add(summary.max_delay_s);
+                // A window the run never measured (no throughput windows /
+                // no deliveries inside it) contributes no sample: its 0.0
+                // is fabricated, and folding it in would be
+                // indistinguishable from a genuine zero. The across-seed
+                // count then lands in the result JSON as n=0 — diffable as
+                // missing data, not as a measured zero.
+                if (summary.throughput_samples > 0) {
+                    agg.flows[f].mean_kbps.add(summary.mean_kbps);
+                    agg.flows[f].stddev_kbps.add(summary.stddev_kbps);
+                }
+                if (summary.delay_samples > 0) {
+                    agg.flows[f].mean_delay_s.add(summary.mean_delay_s);
+                    agg.flows[f].max_delay_s.add(summary.max_delay_s);
+                }
             }
             agg.fairness.add(measured.fairness);
             agg.aggregate_kbps.add(measured.aggregate_kbps);

@@ -35,7 +35,7 @@ int usage(const char* message = nullptr)
         "        run figures; with --out, write <out>/<figure>.json (+ .csv)\n"
         "        --smoke uses each figure's canned fast grid (the goldens grid)\n"
         "  sweep <figure...> --grid=axis=v1:v2[,axis=...] [run flags]\n"
-        "        cross-product sweep over axes scale, seeds, seed, threads\n"
+        "        cross-product sweep over axes scale, seeds, seed, threads, shards\n"
         "  diff  <golden> <candidate> [--rel-tol=R] [--abs-tol=A] [--bit-exact]\n"
         "        compare result JSON files (or directories of them); exit 1 on drift\n"
         "  help  show this text\n"
@@ -329,7 +329,8 @@ bool parse_grid(const std::string& grid,
         const std::size_t eq = axis_spec.find('=');
         if (eq == std::string::npos) return false;
         const std::string axis = axis_spec.substr(0, eq);
-        if (axis != "scale" && axis != "seeds" && axis != "seed" && axis != "threads")
+        if (axis != "scale" && axis != "seeds" && axis != "seed" && axis != "threads" &&
+            axis != "shards")
             return false;
         for (const auto& [existing, values] : axes)
             if (existing == axis) return false;  // a duplicate axis would clobber the first
@@ -352,7 +353,8 @@ int cmd_sweep(const util::Cli& cli)
     if (names.empty() && !flags.all) return usage("sweep: no figures given (or use --all)");
     std::vector<std::pair<std::string, std::vector<std::string>>> axes;
     if (!parse_grid(cli.get("grid", ""), axes))
-        return usage("sweep: --grid=axis=v1:v2[,axis=...] with axes scale/seeds/seed/threads");
+        return usage(
+            "sweep: --grid=axis=v1:v2[,axis=...] with axes scale/seeds/seed/threads/shards");
     std::string error;
     const auto specs = resolve_figures(names, flags.all, error);
     if (!error.empty()) return usage(error.c_str());
@@ -383,6 +385,7 @@ int cmd_sweep(const util::Cli& cli)
                 if (axis == "seeds") point_flags.seeds = std::stoi(value);
                 if (axis == "seed") point_flags.seed = std::stoull(value);
                 if (axis == "threads") point_flags.threads = std::stoi(value);
+                if (axis == "shards") point_flags.shards = std::stoi(value);
             }
             if (!out_root.empty()) point_flags.out_dir = out_root + "/" + spec->name + suffix;
             if (!flags.quiet)

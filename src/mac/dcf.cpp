@@ -52,6 +52,14 @@ void DcfMac::quiesce()
     cts_timer_.cancel();
     pending_ctrl_.clear();
     ack_tx_scheduled_ = false;
+    // Invalidate every armed control-path lambda. A bare state guard is
+    // not enough: after a revive, a *new* exchange can re-create the
+    // exact state (pending_ctrl_ non-empty, kWaitCts) a stale trigger
+    // checks for, and the stale event — armed before the new exchange's
+    // own SIFS — would then transmit early, violating SIFS spacing.
+    ++ctrl_gen_;
+    next_ctrl_at_ = -1;
+    cts_data_at_ = -1;
     in_contention_ = false;
     if (current_queue_ != nullptr) ++teardown_aborts_;
     current_queue_ = nullptr;
@@ -316,7 +324,11 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
                 frame.tx_node == current_queue_->key().next_hop) {
                 cts_timer_.cancel();
                 // Data follows the CTS after SIFS, without re-contending.
-                scheduler_.schedule_in(params_.sifs_us, [this] {
+                cts_data_at_ = scheduler_.now() + params_.sifs_us;
+                const std::uint64_t gen = ctrl_gen_;
+                scheduler_.schedule_in(params_.sifs_us, [this, gen] {
+                    if (gen != ctrl_gen_) return;
+                    cts_data_at_ = -1;
                     if (state_ == State::kWaitCts && !phy_.transmitting()) {
                         coordinator_.begin_external_tx(/*late_trigger=*/true);
                         transmit_data();
@@ -363,22 +375,30 @@ void DcfMac::schedule_control_if_needed()
         freeze_contention();
         state_ = State::kWaitMediumIdle;  // re-entered after the response
     }
-    scheduler_.schedule_in(params_.sifs_us, [this] { send_pending_control(); });
+    next_ctrl_at_ = scheduler_.now() + params_.sifs_us;
+    const std::uint64_t gen = ctrl_gen_;
+    scheduler_.schedule_in(params_.sifs_us, [this, gen] {
+        if (gen == ctrl_gen_) send_pending_control();
+    });
 }
 
 void DcfMac::send_pending_control()
 {
-    // An empty list here is legitimate only because quiesce clears it:
-    // the SIFS trigger events cannot be cancelled (schedule_in keeps no
-    // handle), so one may fire after a teardown — or after a teardown
-    // plus revival — and must simply do nothing.
+    // Stale triggers (armed before a quiesce) are filtered by the
+    // generation check at the call site; the state guards below are a
+    // second line of defence for same-generation races only.
     if (down_ || pending_ctrl_.empty()) return;
     if (phy_.transmitting()) {
         // Extremely rare: our own transmission started in the SIFS
         // window. Retry shortly after.
-        scheduler_.schedule_in(params_.slot_us, [this] { send_pending_control(); });
+        next_ctrl_at_ = scheduler_.now() + params_.slot_us;
+        const std::uint64_t gen = ctrl_gen_;
+        scheduler_.schedule_in(params_.slot_us, [this, gen] {
+            if (gen == ctrl_gen_) send_pending_control();
+        });
         return;
     }
+    next_ctrl_at_ = -1;  // the control frame goes on air now
     const PendingControl ctrl = pending_ctrl_.front();
     pending_ctrl_.pop_front();
     phy::Frame frame;
@@ -440,6 +460,19 @@ void DcfMac::finish_current(bool success)
         if (callbacks_ != nullptr) callbacks_->mac_tx_drop(key, packet);
     }
     maybe_start_work();
+}
+
+SimTime DcfMac::earliest_committed_tx_at() const
+{
+    if (down_) return -1;
+    SimTime earliest = -1;
+    const auto consider = [&earliest](SimTime at) {
+        if (at >= 0 && (earliest < 0 || at < earliest)) earliest = at;
+    };
+    consider(next_ctrl_at_);
+    consider(cts_data_at_);
+    consider(coordinator_.registered_expiry(*this));
+    return earliest;
 }
 
 void DcfMac::phy_busy_changed(bool busy)

@@ -115,6 +115,16 @@ public:
     /// Virtual carrier sense deadline (NAV). Exposed for tests.
     SimTime nav_until() const { return nav_until_; }
 
+    /// Earliest instant at which this MAC is already committed to putting
+    /// energy on the air: the armed SIFS/slot control trigger, the
+    /// CTS -> data follow-up, or the coordinator backoff expiry —
+    /// whichever comes first; -1 when nothing is committed. Commitments
+    /// can only be replaced by later ones (a busy medium postpones, never
+    /// advances), so the value is a sound lower bound on the next
+    /// transmission — the per-node input to the sharded engine's
+    /// conservative epoch horizon.
+    SimTime earliest_committed_tx_at() const;
+
     /// Whether the MAC is currently committed to a head packet (an access
     /// or exchange is in progress). The packet stays queue backlog until
     /// the exchange settles, but its receiver may already have progressed
@@ -208,6 +218,14 @@ private:
     };
     std::deque<PendingControl> pending_ctrl_;
     bool ack_tx_scheduled_ = false;  ///< SIFS timer armed or control frame on air
+    /// Invalidates the un-cancellable schedule_in lambdas (SIFS control
+    /// trigger, its mid-TX slot retry, the CTS -> data follow-up): each
+    /// captures the generation at arming and quiesce() bumps it, so a
+    /// trigger that outlives a teardown — or a teardown plus revival —
+    /// can never drive the revived MAC's fresh control queue early.
+    std::uint64_t ctrl_gen_ = 0;
+    SimTime next_ctrl_at_ = -1;  ///< armed control trigger (-1: none/on air)
+    SimTime cts_data_at_ = -1;   ///< armed CTS -> data follow-up (-1: none)
 
     std::uint32_t next_seq_ = 1;
     std::map<net::NodeId, std::uint32_t> last_rx_seq_;  ///< duplicate filter

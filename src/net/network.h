@@ -135,6 +135,12 @@ public:
 
     /// The epoch driver; built on demand when shard_count() > 1 (null
     /// for a single shard — run_until drives the scheduler directly).
+    /// For a connected-cut plan the first build also installs the
+    /// boundary-proxy layer: every boundary node's transmissions are
+    /// mirrored into the neighbouring shards' channels as read-only
+    /// ghost signals, and the epoch horizon is derived dynamically from
+    /// the boundary MACs' committed transmission times (see
+    /// sim::ShardedEngine::set_horizon_provider).
     sim::ShardedEngine* sharded_engine();
 
     // --- fault injection ---
@@ -167,6 +173,10 @@ private:
 
     Shard& shard(int s);
     const Shard& shard(int s) const;
+
+    /// Wire the ghost-mirror hooks and the dynamic horizon provider for a
+    /// connected-cut plan (called once, when the engine is built).
+    void install_connected_cut_support();
 
     Config config_;
     util::Rng rng_;

@@ -1,6 +1,7 @@
 #include "net/topo_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -354,6 +355,67 @@ Scenario make_islands(const IslandsSpec& spec, std::uint64_t seed)
         for (int i = 0; i < spec.sources; ++i) {
             std::vector<NodeId> path =
                 shortest_path(island, rim[static_cast<std::size_t>(i)], 0);
+            for (NodeId& n : path) n += base;
+            add_planned_flow(scenario, k * spec.sources + i + 1, std::move(path), spec.start_s,
+                             spec.duration_s);
+        }
+    }
+    return scenario;
+}
+
+Scenario make_cluster_grid(const ClustersSpec& spec, std::uint64_t seed)
+{
+    if (spec.clusters < 1) throw std::invalid_argument("make_cluster_grid: need >= 1 cluster");
+    if (spec.cols < 2 || spec.rows < 2)
+        throw std::invalid_argument("make_cluster_grid: need at least 2x2 clusters");
+    Network::Config config = default_config(seed);
+    if (spec.tx_range_m > 0) config.phy.tx_range_m = spec.tx_range_m;
+    if (spec.cs_range_m > 0) config.phy.cs_range_m = spec.cs_range_m;
+    if (spec.interference_range_m > 0)
+        config.phy.interference_range_m = spec.interference_range_m;
+    if (spec.capture_threshold > 0) {
+        config.phy.capture_threshold = spec.capture_threshold;
+        config.phy.capture_threshold_db = 10.0 * std::log10(spec.capture_threshold);
+    }
+    config.max_shards = spec.max_shards;
+    // The gap must open an interference-only band: beyond sense/delivery
+    // (no hard coupling, so the planner may cut it) but within
+    // interference range (otherwise the clusters are plain islands and
+    // the connected-cut machinery is never exercised).
+    const double radius_hard = std::max(config.phy.tx_range_m, config.phy.cs_range_m);
+    if (spec.gap_m <= radius_hard)
+        throw std::invalid_argument(
+            "make_cluster_grid: gap must exceed the sense/delivery radius (clusters would "
+            "hard-couple into one shard unit)");
+    if (spec.gap_m > config.phy.interference_range_m)
+        throw std::invalid_argument(
+            "make_cluster_grid: gap exceeds the interference range (use make_islands for "
+            "fully disconnected grids)");
+
+    const Topology cluster = make_grid_topology(spec.cols, spec.rows, spec.spacing_m);
+    const std::vector<NodeId> rim = convergecast_rim(spec.cols, spec.rows);
+    if (spec.sources < 1 || spec.sources > static_cast<int>(rim.size()))
+        throw std::invalid_argument("make_cluster_grid: bad source count");
+    const int per_cluster = cluster.node_count();
+    const double cluster_width = (spec.cols - 1) * spec.spacing_m;
+
+    Topology topo;
+    topo.positions.reserve(static_cast<std::size_t>(per_cluster) *
+                           static_cast<std::size_t>(spec.clusters));
+    for (int k = 0; k < spec.clusters; ++k) {
+        const double offset = k * (cluster_width + spec.gap_m);
+        for (const phy::Position& p : cluster.positions)
+            topo.positions.push_back(phy::Position{p.x + offset, p.y});
+    }
+    topo.link_range_m = config.phy.tx_range_m;
+    rebuild_links(topo);  // gap > link range: no cross-cluster links
+
+    Scenario scenario = instantiate(topo, std::move(config));
+    for (int k = 0; k < spec.clusters; ++k) {
+        const NodeId base = k * per_cluster;
+        for (int i = 0; i < spec.sources; ++i) {
+            std::vector<NodeId> path =
+                shortest_path(cluster, rim[static_cast<std::size_t>(i)], 0);
             for (NodeId& n : path) n += base;
             add_planned_flow(scenario, k * spec.sources + i + 1, std::move(path), spec.start_s,
                              spec.duration_s);

@@ -81,6 +81,13 @@ double TimeSeries::stddev_between(SimTime from, SimTime to) const
     return s.stddev();
 }
 
+std::int64_t TimeSeries::count_between(SimTime from, SimTime to) const
+{
+    std::int64_t n = 0;
+    for_each_in_window(times_, values_, from, to, [&](double) { ++n; });
+    return n;
+}
+
 double ci95_halfwidth(const RunningStats& stats)
 {
     const std::int64_t n = stats.count();

@@ -49,6 +49,11 @@ public:
     double max_between(SimTime from, SimTime to) const;
     /// Standard deviation of values in [from, to).
     double stddev_between(SimTime from, SimTime to) const;
+    /// Number of samples with time >= from and time < to. The window
+    /// helpers above return 0.0 for an empty window — indistinguishable
+    /// from a genuine zero — so callers that must tell "no data" from
+    /// "measured zero" check this first.
+    std::int64_t count_between(SimTime from, SimTime to) const;
 
 private:
     std::vector<SimTime> times_;

@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include "analysis/drop_audit.h"
 #include "analysis/experiment.h"
+#include "analysis/experiment_factory.h"
 #include "analysis/metrics.h"
 #include "analysis/recorder.h"
+#include "analysis/result.h"
+#include "analysis/sweep.h"
+#include "core/pacer.h"
 #include "net/topologies.h"
 #include "traffic/source.h"
+#include "util/stats.h"
 
 namespace ezflow::analysis {
 namespace {
@@ -71,6 +77,37 @@ TEST(ThroughputMeter, MeasuresWindowedGoodput)
     EXPECT_NEAR(meter.mean_kbps(2 * kSecond, 20 * kSecond), 80.0, 6.0);
 }
 
+TEST(TimeSeries, CountBetweenTellsNoDataFromMeasuredZero)
+{
+    // The window helpers return 0.0 for an empty window — only the count
+    // distinguishes "no data" from a genuine measured zero.
+    util::TimeSeries series;
+    EXPECT_EQ(series.count_between(0, 100), 0);
+    series.add(10, 0.0);
+    series.add(20, 5.0);
+    series.add(30, 0.0);
+    EXPECT_EQ(series.count_between(0, 100), 3);
+    EXPECT_EQ(series.count_between(10, 30), 2);  // half-open [from, to)
+    EXPECT_EQ(series.count_between(30, 30), 0);
+    EXPECT_EQ(series.count_between(40, 100), 0);
+    EXPECT_DOUBLE_EQ(series.mean_between(40, 100), 0.0);  // the ambiguous zero
+}
+
+TEST(ThroughputMeter, ExposesWindowSampleCounts)
+{
+    net::Scenario s = net::make_line(1, 100, 3);
+    ThroughputMeter meter(*s.network, 0, kSecond);
+    meter.start();
+    traffic::CbrSource source(*s.network, 0, 1000, 80'000.0);
+    source.activate(0, 5 * kSecond);
+    s.network->run_until(6 * kSecond);
+    EXPECT_GT(meter.samples(0, 6 * kSecond), 0);
+    // Beyond the run there are no windows at all: the mean reports 0.0
+    // but the sample count exposes it as fabricated.
+    EXPECT_EQ(meter.samples(50 * kSecond, 60 * kSecond), 0);
+    EXPECT_DOUBLE_EQ(meter.mean_kbps(50 * kSecond, 60 * kSecond), 0.0);
+}
+
 TEST(CwTracer, TracksQueueCwMin)
 {
     net::Scenario s = net::make_line(2, 100, 3);
@@ -122,6 +159,68 @@ TEST(Experiment, SummaryAndFairnessKnownScenario)
     EXPECT_THROW(exp.summarize(9, 0, 1), std::invalid_argument);
     EXPECT_THROW(exp.throughput(9), std::invalid_argument);
     EXPECT_THROW(exp.fairness({9}, 0, 1), std::invalid_argument);
+}
+
+TEST(Experiment, UnmeasuredWindowReportsZeroSamples)
+{
+    ExperimentOptions options;
+    Experiment exp(net::make_line(2, 30, 4), options);
+    exp.run();
+    const auto measured = exp.summarize(0, 10.0, 30.0);
+    EXPECT_GT(measured.throughput_samples, 0);
+    EXPECT_GT(measured.delay_samples, 0);
+    // A window long after the drain fabricates zeros in every statistic;
+    // the sample counts are what let callers tell them apart.
+    const auto empty = exp.summarize(0, 500.0, 600.0);
+    EXPECT_EQ(empty.throughput_samples, 0);
+    EXPECT_EQ(empty.delay_samples, 0);
+    EXPECT_DOUBLE_EQ(empty.mean_kbps, 0.0);
+}
+
+TEST(Sweep, UnmeasuredWindowAggregatesToZeroSeedCells)
+{
+    // The aggregation guard: a window no seed ever measured must land in
+    // the result JSON as n=0 (missing data), not as a measured zero that
+    // drags the across-seed mean down.
+    ExperimentFactory factory(ScenarioSpec::line(2, 10.0), ExperimentOptions{});
+    SweepConfig config;
+    config.windows = {SweepWindow{"active", 6.0, 15.0, {0}},
+                      SweepWindow{"after", 500.0, 600.0, {0}}};
+    config.seeds = {3, 4};
+    const SweepResult sweep = SweepRunner(1).run(factory, config);
+    const FlowAggregate& active = sweep.windows[0].flows[0];
+    const FlowAggregate& after = sweep.windows[1].flows[0];
+    EXPECT_EQ(active.mean_kbps.count(), 2);
+    EXPECT_EQ(after.mean_kbps.count(), 0);
+    EXPECT_EQ(after.mean_delay_s.count(), 0);
+    EXPECT_EQ(metric_from_stats(after.mean_kbps).n, 0);
+    EXPECT_DOUBLE_EQ(metric_from_stats(after.mean_kbps).mean, 0.0);
+}
+
+TEST(DropAudit, InterceptorRunsReportSkippedNotBalanced)
+{
+    // A plain 802.11 run balances its ledger; a paced EZ-Flow run holds
+    // packets inside the pacer (a forward interceptor), so the audit
+    // stands down — and must say so via status, not by returning an
+    // all-zero ledger that reads as a verified zero-traffic run.
+    ExperimentOptions baseline;
+    baseline.mode = Mode::kBaseline80211;
+    Experiment plain(net::make_line(2, 10, 4), baseline);
+    plain.run();
+    const DropLedger balanced = audit_drop_accounting(plain);
+    EXPECT_FALSE(balanced.skipped());
+    EXPECT_EQ(balanced.status, DropLedger::Status::kBalanced);
+    EXPECT_GT(balanced.generated, 0u);
+
+    Experiment paced(net::make_line(2, 10, 4), baseline);
+    const auto pacers =
+        core::install_paced_ezflow(paced.network(), core::PacedEzFlowAgent::Options{});
+    paced.run();
+    const DropLedger skipped = audit_drop_accounting(paced);
+    EXPECT_TRUE(skipped.skipped());
+    EXPECT_EQ(skipped.status, DropLedger::Status::kSkippedInterceptor);
+    EXPECT_EQ(skipped.generated, 0u);
+    EXPECT_EQ(skipped.accounted(), 0u);
 }
 
 TEST(Experiment, EzFlowModeInstallsAgents)

@@ -3,7 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "cli/app.h"
 #include "cli/figures.h"
 
 namespace ezflow::cli {
@@ -126,6 +132,43 @@ TEST_F(RegistryTest, RunnableFigureProducesStructuredResult)
     // And it serializes to stable JSON.
     const auto json = result.to_json();
     EXPECT_EQ(analysis::FigureResult::from_json(json).to_json().dump(), json.dump());
+}
+
+int run_cli(std::vector<std::string> args)
+{
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (std::string& arg : args) argv.push_back(arg.data());
+    return run_app(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(App, SweepGridAcceptsShardsAxis)
+{
+    // Regression: the sweep grid advertised scale/seeds/seed/threads but
+    // rejected shards, so shard-scaling sweeps needed hand-rolled loops.
+    const std::string out = testing::TempDir() + "ezflow_sweep_shards";
+    std::filesystem::remove_all(out);
+    EXPECT_EQ(run_cli({"ezflow", "sweep", "islands", "--grid=shards=1:2", "--smoke", "--quiet",
+                       "--json-only", "--out=" + out}),
+              0);
+    const std::string s1 = slurp(out + "/islands_shards1/islands.json");
+    const std::string s2 = slurp(out + "/islands_shards2/islands.json");
+    EXPECT_FALSE(s1.empty());
+    // Shard count is an execution knob, never a result knob: the two
+    // sweep points must be byte-identical.
+    EXPECT_EQ(s1, s2);
+    std::filesystem::remove_all(out);
+
+    // Unknown axes are still a usage error (exit code 2).
+    EXPECT_EQ(run_cli({"ezflow", "sweep", "islands", "--grid=bogus=1:2", "--quiet"}), 2);
 }
 
 }  // namespace

@@ -282,6 +282,38 @@ TEST(FaultLifetime, KillScanUnderSinrLedger)
     }
 }
 
+TEST(FaultLifetime, FlashReviveWithinSifsKeepsControlPathSane)
+{
+    // Regression for the stale control trigger: quiesce cannot cancel an
+    // already-armed SIFS/slot control timer (scheduler events are fire-
+    // and-forget), so a kill/revive cycle quicker than SIFS left the old
+    // trigger to fire into the *revived* MAC — a double control send
+    // violating SIFS spacing, or a send of a control frame the teardown
+    // had already flushed. The MAC's generation counter turns stale
+    // triggers into no-ops; this scan pins that across sub-SIFS kill
+    // offsets (prime steps so the scan drifts through DIFS/backoff/ACK
+    // phases) with a 4-microsecond outage, and re-checks determinism.
+    const auto flash_cycle = [](util::SimTime kill_us) {
+        ScenarioSpec spec = ScenarioSpec::line(4, /*duration_s=*/1.2);
+        spec.faults.events.push_back({kill_us, net::FaultKind::kNodeDown, /*node=*/2, -1, -1});
+        spec.faults.events.push_back(
+            {kill_us + 4, net::FaultKind::kNodeUp, /*node=*/2, -1, -1});
+        ExperimentFactory factory(spec, ExperimentOptions{});
+        std::unique_ptr<analysis::Experiment> experiment = factory.make(/*seed=*/11);
+        experiment->run();
+        experiment->run_until_s(10.0);
+        EXPECT_EQ(experiment->network().channel().frame_pool().live(), 0u)
+            << "kill at " << kill_us;
+        analysis::audit_drop_accounting(*experiment);  // throws on any leak
+        return testutil::experiment_fingerprint(*experiment);
+    };
+    for (int i = 0; i < 12; ++i) {
+        const util::SimTime kill = util::from_seconds(5.2) + i * 2'503;
+        const auto fingerprint = flash_cycle(kill);
+        EXPECT_EQ(fingerprint, flash_cycle(kill)) << "kill at " << kill;
+    }
+}
+
 TEST(FaultLifetime, CullMatchesBroadcastAcrossDownUpCycle)
 {
     // Satellite of the reach-cache fix: the culled channel must produce

@@ -66,6 +66,29 @@ TEST(ResultDiff, AbsToleranceCoversNearZero)
     EXPECT_TRUE(diff_results(golden, candidate, options).passed());
 }
 
+TEST(ResultDiff, SamplePresenceMismatchFailsEvenInToleranceMode)
+{
+    // An n=0 cell is an unmeasured window whose 0.0 is a placeholder: it
+    // must never pass tolerance against a small real measurement, and two
+    // unmeasured cells must pass regardless of their placeholder values.
+    const FigureResult golden = make_golden();
+    FigureResult fabricated = make_golden();
+    fabricated.cells[0].windows[0].set("F1.kbps", MetricStat{0.0, 0.0, 0});
+    DiffOptions loose;
+    loose.rel_tol = 1e9;  // any value comparison would pass
+    const DiffReport report = diff_results(golden, fabricated, loose);
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].kind, DiffFinding::Kind::kValue);
+    EXPECT_NE(report.to_string().find("metrics[F1.kbps].n"), std::string::npos);
+    EXPECT_NE(report.to_string().find("sample presence differs"), std::string::npos);
+
+    FigureResult both_a = make_golden();
+    FigureResult both_b = make_golden();
+    both_a.cells[0].windows[0].set("F1.kbps", MetricStat{0.0, 0.0, 0});
+    both_b.cells[0].windows[0].set("F1.kbps", MetricStat{123.0, 9.0, 0});
+    EXPECT_TRUE(diff_results(both_a, both_b, DiffOptions{}).passed());
+}
+
 TEST(ResultDiff, MissingMetricFails)
 {
     const FigureResult golden = make_golden();
