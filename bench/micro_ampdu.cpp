@@ -1,0 +1,112 @@
+// A-MPDU aggregation benchmarks: the grid_gateway convergecast workload
+// at TXOP batch sizes K = 1, 4, 8, 16. The headline counter is
+// events_per_kb — scheduler events per delivered kilobyte — which must
+// fall as K grows: one DIFS/backoff/BA exchange settles a whole batch,
+// so the per-byte event cost is the aggregation win in engine terms,
+// independent of wall clock noise on shared CI hosts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/experiment.h"
+#include "analysis/experiment_factory.h"
+#include "net/topo_gen.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace ezflow;
+
+std::unique_ptr<analysis::Experiment> make_gateway_experiment(int ampdu_k, double duration_s)
+{
+    net::GridSpec grid;
+    grid.cols = 5;
+    grid.rows = 5;
+    grid.sources = 4;
+    grid.start_s = 0.0;
+    grid.duration_s = duration_s;
+    analysis::ScenarioSpec spec = analysis::ScenarioSpec::grid_gateway(grid);
+    spec.ampdu_max_mpdus = ampdu_k;
+    analysis::ExperimentOptions options;
+    options.streaming = true;
+    analysis::ExperimentFactory factory(spec, options);
+    return factory.make(/*seed=*/7);
+}
+
+std::uint64_t delivered_packets(net::Network& network)
+{
+    std::uint64_t delivered = 0;
+    for (net::NodeId id = 0; id < network.node_count(); ++id)
+        delivered += network.node(id).delivered();
+    return delivered;
+}
+
+void BM_GatewayConvergecast(benchmark::State& state)
+{
+    // Arg 0 is the A-MPDU batch size K (1 = the legacy per-MSDU MAC).
+    // items = simulated microseconds; events_per_kb is the acceptance
+    // metric (events per delivered kilobyte must shrink with K).
+    const int ampdu_k = static_cast<int>(state.range(0));
+    constexpr double kSimSeconds = 3.0;
+    constexpr double kPayloadBytes = 1000.0;  // ExperimentOptions default
+    std::uint64_t events = 0;
+    std::uint64_t delivered = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto experiment = make_gateway_experiment(ampdu_k, kSimSeconds);
+        state.ResumeTiming();
+        experiment->run();
+        events += experiment->network().total_processed();
+        delivered += delivered_packets(experiment->network());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kSimSeconds * util::kSecond));
+    const double delivered_kb = static_cast<double>(delivered) * kPayloadBytes / 1000.0;
+    state.counters["events"] =
+        benchmark::Counter(static_cast<double>(events) / static_cast<double>(state.iterations()));
+    state.counters["delivered_pkts"] = benchmark::Counter(
+        static_cast<double>(delivered) / static_cast<double>(state.iterations()));
+    state.counters["events_per_kb"] = benchmark::Counter(
+        delivered_kb > 0.0 ? static_cast<double>(events) / delivered_kb : 0.0);
+    state.counters["ampdu_k"] = benchmark::Counter(static_cast<double>(ampdu_k));
+}
+BENCHMARK(BM_GatewayConvergecast)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_AmpduEventReduction(benchmark::State& state)
+{
+    // The acceptance measurement in one record: events per delivered byte
+    // at K=1 vs K=8 on the same convergecast grid, and their ratio
+    // (must be >= 3 for the aggregation refactor to have paid off).
+    constexpr double kSimSeconds = 3.0;
+    const auto events_per_byte = [&](int k) {
+        auto experiment = make_gateway_experiment(k, kSimSeconds);
+        experiment->run();
+        const double bytes = static_cast<double>(delivered_packets(experiment->network())) * 1000.0;
+        return bytes > 0.0 ? static_cast<double>(experiment->network().total_processed()) / bytes
+                           : 0.0;
+    };
+    double per_byte_k1 = 0.0;
+    double per_byte_k8 = 0.0;
+    for (auto _ : state) {
+        per_byte_k1 = events_per_byte(1);
+        per_byte_k8 = events_per_byte(8);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["events_per_byte_k1"] = benchmark::Counter(per_byte_k1);
+    state.counters["events_per_byte_k8"] = benchmark::Counter(per_byte_k8);
+    state.counters["reduction"] =
+        benchmark::Counter(per_byte_k8 > 0.0 ? per_byte_k1 / per_byte_k8 : 0.0);
+}
+BENCHMARK(BM_AmpduEventReduction)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

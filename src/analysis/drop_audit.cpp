@@ -1,5 +1,6 @@
 #include "analysis/drop_audit.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -33,10 +34,19 @@ DropLedger collect_drop_ledger(Experiment& experiment)
         ledger.drops_unroutable += node.drops_unroutable();
         ledger.retry_drops += node.mac().retry_drops();
         ledger.dup_rx_suppressed += node.mac().dup_rx_suppressed();
-        if (node.mac().serving()) ++ledger.clone_allowance;
+        // MPDUs flushed out of a quiesced sender window leave through the
+        // node-down bucket; unsettled window MPDUs and reorder-parked
+        // receptions are in-flight backlog, exactly like queued packets.
+        ledger.drops_node_down += node.mac().ampdu_node_down_drops();
+        ledger.backlog += node.mac().ampdu_pending() + node.reorder_buffered();
+        // A frozen serving MAC holds one half-open dialogue — or, with
+        // aggregation, up to a whole window of them (every unsettled MPDU
+        // may already be decoded and progressed at the receiver).
+        if (node.mac().serving())
+            ledger.clone_allowance += std::max<std::uint64_t>(1, node.mac().ampdu_pending());
         // A node-down quiesce that cut a dialogue short flushed a head
-        // packet its receiver may already have decoded — one more
-        // potential clone per abort, just like a frozen dialogue.
+        // packet (or window) its receiver may already have decoded — one
+        // more potential clone per abort, just like a frozen dialogue.
         ledger.clone_allowance += node.mac().teardown_aborts();
         for (const auto& queue : node.mac().queues().queues()) {
             ledger.drops_node_down += queue->dropped_node_down();
@@ -72,7 +82,12 @@ DropLedger audit_drop_accounting(Experiment& experiment)
         }
         // A packet leaves its queue exactly when its exchange settles
         // (success or retry drop); a frozen in-service head is unpopped.
-        const std::uint64_t settled = node.mac().successes() + node.mac().retry_drops();
+        // With aggregation the batch is popped at TXOP fill instead, so
+        // unsettled window MPDUs (and window flushes at teardown) make up
+        // the difference — exactly, not as an allowance.
+        const std::uint64_t settled = node.mac().successes() + node.mac().retry_drops() +
+                                      node.mac().ampdu_pending() +
+                                      node.mac().ampdu_node_down_drops();
         if (dequeued != settled) fail("MAC settlement", dequeued, settled);
     }
 

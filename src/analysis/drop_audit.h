@@ -52,7 +52,9 @@ DropLedger collect_drop_ledger(Experiment& experiment);
 ///   generated <= accounted() <= generated + clone_allowance
 /// plus the exact local conservation laws (per interface queue:
 /// enqueued == dequeued + dropped_node_down + size; per MAC:
-/// dequeued == successes + retry_drops + [one in-service head]).
+/// dequeued == successes + retry_drops + ampdu_pending +
+/// ampdu_node_down_drops — the A-MPDU terms cover batches popped at TXOP
+/// fill whose MPDUs have not settled yet, and are zero at K=1).
 /// Throws std::logic_error naming the violated invariant. Stands down
 /// when any node has a forward interceptor — the pacer holds packets
 /// outside the MAC queues, so the MAC-level ledger cannot balance — and

@@ -126,7 +126,10 @@ std::string scenario_name(const ScenarioSpec& spec)
             break;
     }
     // Deliberately no shard suffix: the label feeds figure JSON, which
-    // must stay byte-identical across shard counts.
+    // must stay byte-identical across shard counts. The A-MPDU batch size
+    // DOES change results, so it is part of the name (K=1 keeps every
+    // pre-existing label untouched).
+    if (spec.ampdu_max_mpdus > 1) out << "-k" << spec.ampdu_max_mpdus;
     return out.str();
 }
 
@@ -184,6 +187,7 @@ net::Scenario build_scenario(const ScenarioSpec& spec, std::uint64_t seed)
     // Model installation is applied after construction rather than threaded
     // through every topology builder; a reference config is an exact no-op.
     scenario.network->set_phy_models(spec.models);
+    if (spec.ampdu_max_mpdus > 1) scenario.network->set_ampdu_max_mpdus(spec.ampdu_max_mpdus);
     scenario.faults = spec.faults;
     return scenario;
 }

@@ -75,6 +75,12 @@ struct ScenarioSpec {
     /// spec is unaffected.
     phy::PhyModelConfig models;
 
+    /// A-MPDU batch size applied to every node's MAC. 1 (the default)
+    /// keeps the legacy single-MSDU pipeline, bit-exactly; larger values
+    /// enable aggregation + block-ack and suffix the scenario name with
+    /// "-k<K>" so sweep cells stay distinguishable.
+    int ampdu_max_mpdus = 1;
+
     /// Scheduled node/link faults carried into the built Scenario (empty
     /// default: no injector is constructed, zero overhead). Event times
     /// are absolute simulation seconds, so specs compose with the

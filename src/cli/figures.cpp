@@ -28,6 +28,7 @@ void register_builtin_figures()
         register_scenario2_figures();
         register_model_figures();
         register_grid_figures();
+        register_ampdu_figures();
         register_failover_figures();
         register_phy_model_figures();
         register_ablation_figures();

@@ -52,12 +52,29 @@ void EzFlowAgent::on_first_tx(const mac::QueueKey& key, const net::Packet& packe
 
 void EzFlowAgent::on_sniffed(const phy::Frame& frame)
 {
-    if (frame.type != phy::FrameType::kData || !frame.has_packet) return;
+    if (frame.type != phy::FrameType::kData) return;
     const auto it = successors_.find(frame.tx_node);
     if (it == successors_.end()) return;  // not one of our successors
-    if (sniff_loss_ > 0.0 && rng_.bernoulli(sniff_loss_)) return;
     SuccessorState& state = *it->second;
-    const std::optional<int> estimate = state.boe.on_packet_overheard(frame.packet.checksum);
+    if (frame.aggregated()) {
+        // The testbed BOE sniffs with a second monitor-mode radio, which
+        // sees each forwarded MSDU inside the successor's A-MPDU
+        // individually — so every subframe is a sniff opportunity, with
+        // the sniff-loss ablation rolled per subframe.
+        for (const phy::Mpdu& mpdu : frame.subframes) {
+            if (sniff_loss_ > 0.0 && rng_.bernoulli(sniff_loss_)) continue;
+            deliver_sample(state, mpdu.packet.checksum);
+        }
+        return;
+    }
+    if (!frame.has_packet) return;
+    if (sniff_loss_ > 0.0 && rng_.bernoulli(sniff_loss_)) return;
+    deliver_sample(state, frame.packet.checksum);
+}
+
+void EzFlowAgent::deliver_sample(SuccessorState& state, std::uint16_t checksum)
+{
+    const std::optional<int> estimate = state.boe.on_packet_overheard(checksum);
     if (!estimate.has_value()) return;
     ++samples_delivered_;
     if (record_traces_)

@@ -62,6 +62,9 @@ private:
     SuccessorState& ensure_successor(net::NodeId successor);
     void on_first_tx(const mac::QueueKey& key, const net::Packet& packet);
     void on_sniffed(const phy::Frame& frame);
+    /// Feed one overheard checksum (a legacy frame's packet or one A-MPDU
+    /// subframe) through the BOE into the CAA control loop.
+    void deliver_sample(SuccessorState& state, std::uint16_t checksum);
 
     net::Network& network_;
     sim::Scheduler* scheduler_;  ///< the node's shard scheduler (trace timestamps)

@@ -91,10 +91,19 @@ void PacedEzFlowAgent::on_first_tx(const mac::QueueKey& key, const net::Packet& 
 
 void PacedEzFlowAgent::on_sniffed(const phy::Frame& frame)
 {
-    if (frame.type != phy::FrameType::kData || !frame.has_packet) return;
+    if (frame.type != phy::FrameType::kData) return;
     const auto it = successors_.find(frame.tx_node);
     if (it == successors_.end()) return;
     SuccessorState& state = *it->second;
+    if (frame.aggregated()) {
+        // Each A-MPDU subframe forwarded by the successor is its own
+        // sniff opportunity (the testbed monitor radio sees every MSDU).
+        for (const phy::Mpdu& mpdu : frame.subframes)
+            if (const auto estimate = state.boe.on_packet_overheard(mpdu.packet.checksum))
+                state.queue->on_sample(*estimate);
+        return;
+    }
+    if (!frame.has_packet) return;
     if (const auto estimate = state.boe.on_packet_overheard(frame.packet.checksum))
         state.queue->on_sample(*estimate);
 }

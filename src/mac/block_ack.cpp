@@ -1,0 +1,98 @@
+#include "mac/block_ack.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ezflow::mac {
+
+std::uint32_t BlockAckManager::window_start() const
+{
+    if (window_.empty()) throw std::logic_error("BlockAckManager::window_start: empty window");
+    return window_.front().seq;
+}
+
+void BlockAckManager::add_mpdu(net::Packet&& packet, std::uint32_t seq)
+{
+    if (!window_.empty() && seq <= window_.back().seq)
+        throw std::logic_error("BlockAckManager::add_mpdu: sequence not ascending");
+    if (window_.size() >= 64)
+        throw std::logic_error("BlockAckManager::add_mpdu: window exceeds bitmap width");
+    SenderEntry entry;
+    entry.packet = std::move(packet);
+    entry.seq = seq;
+    window_.push_back(std::move(entry));
+}
+
+BlockAckManager::Settled BlockAckManager::on_block_ack(std::uint32_t start, std::uint64_t bitmap,
+                                                       int retry_limit)
+{
+    Settled settled;
+    std::vector<SenderEntry> keep;
+    keep.reserve(window_.size());
+    for (SenderEntry& entry : window_) {
+        const bool acked =
+            entry.seq < start ||
+            (entry.seq - start < 64 && ((bitmap >> (entry.seq - start)) & 1) != 0);
+        if (acked) {
+            settled.acked.push_back(std::move(entry));
+        } else if (++entry.retry > retry_limit) {
+            settled.dropped.push_back(std::move(entry));
+        } else {
+            keep.push_back(std::move(entry));
+        }
+    }
+    window_ = std::move(keep);
+    return settled;
+}
+
+BlockAckManager::Settled BlockAckManager::on_timeout(int retry_limit)
+{
+    return on_block_ack(/*start=*/0, /*bitmap=*/0, retry_limit);
+}
+
+std::vector<BlockAckManager::SenderEntry> BlockAckManager::flush()
+{
+    return std::exchange(window_, {});
+}
+
+BlockAckManager::RxVerdict BlockAckManager::receive(const phy::Frame& frame,
+                                                    std::uint64_t corrupt_bits)
+{
+    Scoreboard& sb = scoreboards_[frame.tx_node];
+    // BAR-free window advance: the frame's advertised start releases
+    // everything below it (the sender either saw it acknowledged or
+    // abandoned it at the retry limit — either way it will never be
+    // retransmitted, so holding out for it would stall delivery forever).
+    if (frame.ba_start_seq > sb.window_start) {
+        sb.window_start = frame.ba_start_seq;
+        sb.received.erase(sb.received.begin(), sb.received.lower_bound(sb.window_start));
+    }
+    RxVerdict verdict;
+    verdict.release_below = sb.window_start;
+    for (std::size_t i = 0; i < frame.subframes.size() && i < 64; ++i) {
+        if ((corrupt_bits >> i) & 1) continue;
+        const std::uint32_t seq = frame.subframes[i].seq;
+        if (seq < sb.window_start || !sb.received.insert(seq).second) {
+            ++verdict.duplicates;
+            continue;
+        }
+        verdict.ok_bits |= (1ull << i);
+    }
+    return verdict;
+}
+
+BlockAckManager::BaResponse BlockAckManager::response_for(net::NodeId tx) const
+{
+    const auto it = scoreboards_.find(tx);
+    if (it == scoreboards_.end())
+        throw std::logic_error("BlockAckManager::response_for: unknown originator");
+    BaResponse response;
+    response.start = it->second.window_start;
+    for (const std::uint32_t seq : it->second.received) {
+        const std::uint32_t offset = seq - response.start;
+        if (offset < 64) response.bitmap |= (1ull << offset);
+    }
+    return response;
+}
+
+}  // namespace ezflow::mac

@@ -15,7 +15,9 @@ DcfMac::DcfMac(phy::NodePhy& phy, sim::Scheduler& scheduler, ContentionCoordinat
       params_(params),
       queues_(params.queue_capacity, params.cw_min),
       ack_timer_(scheduler, [this] { on_ack_timeout(); }),
-      cts_timer_(scheduler, [this] { on_cts_timeout(); })
+      cts_timer_(scheduler, [this] { on_cts_timeout(); }),
+      ctrl_timer_(scheduler, [this] { send_pending_control(); }),
+      cts_data_timer_(scheduler, [this] { on_cts_data_follow_up(); })
 {
     phy_.set_listener(this);
 }
@@ -50,19 +52,24 @@ void DcfMac::quiesce()
     coordinator_.unregister(*this);  // no-op when not registered
     ack_timer_.cancel();
     cts_timer_.cancel();
+    // The control trigger and CTS follow-up are cancellable timers, so a
+    // teardown leaves nothing armed: no stale event can ever fire into a
+    // revived MAC's fresh control queue and violate SIFS spacing.
+    ctrl_timer_.cancel();
+    cts_data_timer_.cancel();
     pending_ctrl_.clear();
     ack_tx_scheduled_ = false;
-    // Invalidate every armed control-path lambda. A bare state guard is
-    // not enough: after a revive, a *new* exchange can re-create the
-    // exact state (pending_ctrl_ non-empty, kWaitCts) a stale trigger
-    // checks for, and the stale event — armed before the new exchange's
-    // own SIFS — would then transmit early, violating SIFS spacing.
-    ++ctrl_gen_;
     next_ctrl_at_ = -1;
     cts_data_at_ = -1;
     in_contention_ = false;
-    if (current_queue_ != nullptr) ++teardown_aborts_;
+    if (current_queue_ != nullptr && !ba_.batch_active()) ++teardown_aborts_;
     current_queue_ = nullptr;
+    // Surrender the block-ack window: these MPDUs were dequeued but never
+    // settled. Each one the receiver may already hold — the same cloned-
+    // outcome slack a single aborted dialogue contributes.
+    const std::vector<BlockAckManager::SenderEntry> flushed = ba_.flush();
+    ampdu_node_down_drops_ += flushed.size();
+    teardown_aborts_ += flushed.size();
     retries_ = 0;
     backoff_remaining_ = 0;
     nav_until_ = 0;
@@ -78,9 +85,16 @@ void DcfMac::revive()
     if (!down_) return;
     down_ = false;
     // Neighbours' sequence numbers moved on while this node was dead;
-    // stale entries could suppress the first genuinely new frame.
+    // stale entries could suppress the first genuinely new frame. The
+    // block-ack scoreboards are in the same position.
     last_rx_seq_.clear();
+    ba_.clear_rx_state();
     maybe_start_work();
+}
+
+void DcfMac::set_ampdu_max_mpdus(int k)
+{
+    params_.ampdu_max_mpdus = std::min(std::max(k, 1), 64);
 }
 
 void DcfMac::set_queue_cw_min(const QueueKey& key, int cw)
@@ -110,7 +124,21 @@ void DcfMac::start_new_contention()
     if (current_queue_ == nullptr) throw std::logic_error("DcfMac: no work to contend for");
     in_contention_ = true;
     retries_ = 0;
-    current_seq_ = next_seq_++;
+    if (aggregation_enabled()) {
+        // Fill the TXOP batch: the window persists across retries (only
+        // unsettled MPDUs are retransmitted) and a new batch starts only
+        // once the previous one settled completely.
+        if (ba_.batch_active())
+            throw std::logic_error("DcfMac: new contention with unsettled block-ack window");
+        batch_key_ = current_queue_->key();
+        batch_fill_.clear();
+        current_queue_->pop_batch(std::min(params_.ampdu_max_mpdus, 64), params_.ampdu_max_bytes,
+                                  batch_fill_);
+        for (net::Packet& packet : batch_fill_) ba_.add_mpdu(std::move(packet), next_seq_++);
+        batch_fill_.clear();
+    } else {
+        current_seq_ = next_seq_++;
+    }
     backoff_remaining_ = rng_.uniform_int(0, effective_cw() - 1);
     resume_access();
 }
@@ -152,11 +180,11 @@ void DcfMac::start_difs()
     coordinator_.register_access(*this, wait, backoff_remaining_, params_.slot_us);
 }
 
-void DcfMac::set_nav_for_ack()
+void DcfMac::set_nav_for_ack(bool aggregated)
 {
     const phy::PhyParams& phy_params = phy_.channel_params();
     phy::Frame ack;
-    ack.type = phy::FrameType::kAck;
+    ack.type = aggregated ? phy::FrameType::kBlockAck : phy::FrameType::kAck;
     set_nav_until(scheduler_.now() + params_.sifs_us + phy_params.tx_duration(ack));
 }
 
@@ -205,6 +233,14 @@ SimTime DcfMac::current_data_airtime() const
 
 void DcfMac::start_exchange()
 {
+    if (ba_.batch_active()) {
+        // Aggregated access is always basic: the block-ack exchange is
+        // its own protection and RTS/CTS duration fields cannot describe
+        // a selective-retransmit TXOP.
+        current_rate_bps_ = phy_.data_bitrate_for(batch_key_.next_hop);
+        transmit_aggregated();
+        return;
+    }
     // One rate decision per attempt (retries re-ask, so the manager can
     // walk a failing link down); 0 = the fixed PHY default. The choice is
     // cached so the RTS duration field and the data frame agree on the
@@ -260,10 +296,42 @@ void DcfMac::transmit_data()
     phy_.start_tx(std::move(frame));
 }
 
+void DcfMac::transmit_aggregated()
+{
+    state_ = State::kTxData;
+    phy::Frame frame;
+    frame.type = phy::FrameType::kData;
+    frame.tx_node = phy_.id();
+    frame.rx_node = batch_key_.next_hop;
+    frame.mac_seq = ba_.window_start();
+    frame.ba_start_seq = ba_.window_start();
+    frame.retry = retries_;
+    frame.bitrate_bps = current_rate_bps_;
+    frame.has_packet = false;
+    frame.subframes.reserve(ba_.window().size());
+    for (BlockAckManager::SenderEntry& entry : ba_.window()) {
+        if (!entry.sent) {
+            entry.sent = true;
+            if (entry.packet.first_tx_at < 0) entry.packet.first_tx_at = scheduler_.now();
+            if (callbacks_ != nullptr) callbacks_->mac_first_tx(batch_key_, entry.packet);
+        }
+        phy::Mpdu mpdu;
+        mpdu.packet = entry.packet;
+        mpdu.seq = entry.seq;
+        mpdu.retry = entry.retry;
+        frame.subframes.push_back(std::move(mpdu));
+    }
+    ++data_attempts_;
+    if (retries_ > 0) ++retransmissions_;
+    phy_.start_tx(std::move(frame));
+}
+
 void DcfMac::phy_tx_done(const phy::Frame& frame)
 {
-    if (frame.type == phy::FrameType::kAck || frame.type == phy::FrameType::kCts) {
+    if (frame.type == phy::FrameType::kAck || frame.type == phy::FrameType::kCts ||
+        frame.type == phy::FrameType::kBlockAck) {
         if (frame.type == phy::FrameType::kAck) ++acks_sent_;
+        if (frame.type == phy::FrameType::kBlockAck) ++block_acks_sent_;
         ack_tx_scheduled_ = false;
         if (!pending_ctrl_.empty()) {
             schedule_control_if_needed();
@@ -288,10 +356,10 @@ void DcfMac::phy_tx_done(const phy::Frame& frame)
                           params_.ack_timeout_slack_us);
         return;
     }
-    // Data frame sent: await the ACK.
+    // Data frame sent: await the ACK (block-ack for an A-MPDU).
     state_ = State::kWaitAck;
     phy::Frame ack;
-    ack.type = phy::FrameType::kAck;
+    ack.type = frame.aggregated() ? phy::FrameType::kBlockAck : phy::FrameType::kAck;
     const SimTime ack_air = phy_params.tx_duration(ack);
     ack_timer_.arm_in(params_.sifs_us + ack_air + params_.ack_timeout_slack_us);
 }
@@ -303,7 +371,7 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
         // its ACK exchange; foreign RTS/CTS frames carry the remaining
         // exchange duration explicitly.
         if (frame.type == phy::FrameType::kData) {
-            set_nav_for_ack();
+            set_nav_for_ack(frame.aggregated());
         } else if (frame.type == phy::FrameType::kRts || frame.type == phy::FrameType::kCts) {
             set_nav_until(scheduler_.now() + frame.duration_us);
         }
@@ -312,7 +380,8 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
     }
     switch (frame.type) {
         case phy::FrameType::kAck:
-            if (state_ == State::kWaitAck && frame.mac_seq == current_seq_ &&
+            if (state_ == State::kWaitAck && !ba_.batch_active() &&
+                frame.mac_seq == current_seq_ &&
                 frame.tx_node == current_queue_->key().next_hop) {
                 ack_timer_.cancel();
                 phy_.report_tx_result(frame.tx_node, /*success=*/true);
@@ -325,16 +394,16 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
                 cts_timer_.cancel();
                 // Data follows the CTS after SIFS, without re-contending.
                 cts_data_at_ = scheduler_.now() + params_.sifs_us;
-                const std::uint64_t gen = ctrl_gen_;
-                scheduler_.schedule_in(params_.sifs_us, [this, gen] {
-                    if (gen != ctrl_gen_) return;
-                    cts_data_at_ = -1;
-                    if (state_ == State::kWaitCts && !phy_.transmitting()) {
-                        coordinator_.begin_external_tx(/*late_trigger=*/true);
-                        transmit_data();
-                        coordinator_.end_external_tx();
-                    }
-                });
+                cts_data_timer_.arm_in(params_.sifs_us);
+            }
+            return;
+        case phy::FrameType::kBlockAck:
+            if (state_ == State::kWaitAck && ba_.batch_active() &&
+                frame.tx_node == batch_key_.next_hop) {
+                ack_timer_.cancel();
+                const BlockAckManager::Settled settled =
+                    ba_.on_block_ack(frame.ba_start_seq, frame.ba_bitmap, params_.retry_limit);
+                settle_block_ack(settled, /*any_acked=*/!settled.acked.empty());
             }
             return;
         case phy::FrameType::kRts: {
@@ -351,6 +420,25 @@ void DcfMac::phy_frame_decoded(const phy::Frame& frame)
             return;
         }
         case phy::FrameType::kData: {
+            if (frame.aggregated()) {
+                // Score the surviving subframes (the PHY's per-MPDU
+                // verdict is valid during this callback), answer with a
+                // compressed block-ack after SIFS, and hand the newly
+                // received MPDUs — plus the release threshold — to the
+                // reorder buffer upstairs. The scoreboard does the
+                // duplicate filtering, not last_rx_seq_.
+                const BlockAckManager::RxVerdict verdict =
+                    ba_.receive(frame, phy_.last_decode_mpdu_errors());
+                dup_rx_suppressed_ += verdict.duplicates;
+                const BlockAckManager::BaResponse response = ba_.response_for(frame.tx_node);
+                PendingControl ctrl{phy::FrameType::kBlockAck, frame.tx_node, frame.mac_seq, 0,
+                                    response.start, response.bitmap};
+                pending_ctrl_.push_back(ctrl);
+                schedule_control_if_needed();
+                if (callbacks_ != nullptr)
+                    callbacks_->mac_rx_aggregated(frame, verdict.ok_bits, verdict.release_below);
+                return;
+            }
             // Always acknowledge; deliver unless duplicate.
             pending_ctrl_.push_back(
                 PendingControl{phy::FrameType::kAck, frame.tx_node, frame.mac_seq, 0});
@@ -376,26 +464,19 @@ void DcfMac::schedule_control_if_needed()
         state_ = State::kWaitMediumIdle;  // re-entered after the response
     }
     next_ctrl_at_ = scheduler_.now() + params_.sifs_us;
-    const std::uint64_t gen = ctrl_gen_;
-    scheduler_.schedule_in(params_.sifs_us, [this, gen] {
-        if (gen == ctrl_gen_) send_pending_control();
-    });
+    ctrl_timer_.arm_in(params_.sifs_us);
 }
 
 void DcfMac::send_pending_control()
 {
-    // Stale triggers (armed before a quiesce) are filtered by the
-    // generation check at the call site; the state guards below are a
-    // second line of defence for same-generation races only.
+    // Stale triggers cannot reach here (quiesce cancels the timer); the
+    // state guards below cover same-lifetime races only.
     if (down_ || pending_ctrl_.empty()) return;
     if (phy_.transmitting()) {
         // Extremely rare: our own transmission started in the SIFS
         // window. Retry shortly after.
         next_ctrl_at_ = scheduler_.now() + params_.slot_us;
-        const std::uint64_t gen = ctrl_gen_;
-        scheduler_.schedule_in(params_.slot_us, [this, gen] {
-            if (gen == ctrl_gen_) send_pending_control();
-        });
+        ctrl_timer_.arm_in(params_.slot_us);
         return;
     }
     next_ctrl_at_ = -1;  // the control frame goes on air now
@@ -407,6 +488,8 @@ void DcfMac::send_pending_control()
     frame.rx_node = ctrl.to;
     frame.mac_seq = ctrl.seq;
     frame.duration_us = ctrl.duration_us;
+    frame.ba_start_seq = ctrl.ba_start;
+    frame.ba_bitmap = ctrl.ba_bitmap;
     frame.has_packet = false;
     // SIFS-timed response: its trigger was scheduled after any contending
     // station's virtual slot re-arm one slot earlier, so boundary ties
@@ -416,9 +499,52 @@ void DcfMac::send_pending_control()
     coordinator_.end_external_tx();
 }
 
+void DcfMac::on_cts_data_follow_up()
+{
+    cts_data_at_ = -1;
+    if (state_ == State::kWaitCts && !phy_.transmitting()) {
+        coordinator_.begin_external_tx(/*late_trigger=*/true);
+        transmit_data();
+        coordinator_.end_external_tx();
+    }
+}
+
+void DcfMac::settle_block_ack(const BlockAckManager::Settled& settled, bool any_acked)
+{
+    phy_.report_tx_result(batch_key_.next_hop, any_acked);
+    for (const BlockAckManager::SenderEntry& entry : settled.acked) {
+        ++successes_;
+        if (callbacks_ != nullptr) callbacks_->mac_tx_success(batch_key_, entry.packet);
+    }
+    for (const BlockAckManager::SenderEntry& entry : settled.dropped) {
+        ++retry_drops_;
+        if (callbacks_ != nullptr) callbacks_->mac_tx_drop(batch_key_, entry.packet);
+    }
+    if (ba_.batch_active()) {
+        // Selective retransmit of the remainder: escalate and re-contend.
+        ++retries_;
+        backoff_remaining_ = rng_.uniform_int(0, effective_cw() - 1);
+        resume_access();
+        return;
+    }
+    in_contention_ = false;
+    current_queue_ = nullptr;
+    retries_ = 0;
+    state_ = State::kIdle;
+    maybe_start_work();
+}
+
 void DcfMac::on_ack_timeout()
 {
     if (state_ != State::kWaitAck) throw std::logic_error("DcfMac::on_ack_timeout: bad state");
+    if (ba_.batch_active()) {
+        // No block-ack at all: every window entry burns a retry
+        // (settle_block_ack reports the failed attempt to the rate
+        // manager).
+        const BlockAckManager::Settled settled = ba_.on_timeout(params_.retry_limit);
+        settle_block_ack(settled, /*any_acked=*/false);
+        return;
+    }
     phy_.report_tx_result(current_queue_->key().next_hop, /*success=*/false);
     ++retries_;
     if (retries_ > params_.retry_limit) {

@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 
+#include "mac/block_ack.h"
 #include "mac/contention.h"
 #include "mac/mac_params.h"
 #include "mac/mac_queue.h"
@@ -34,6 +35,18 @@ public:
     virtual void mac_tx_success(const QueueKey& key, const net::Packet& packet) = 0;
     /// A data frame was abandoned after the retry limit.
     virtual void mac_tx_drop(const QueueKey& key, const net::Packet& packet) = 0;
+    /// An aggregated data frame addressed to this node was received: bit i
+    /// of `ok_bits` marks subframe i as decoded, new (scoreboard-filtered)
+    /// and to be delivered; reorder-held packets with seq below
+    /// `release_below` must be released first (BAR-free window advance).
+    /// Default no-op so legacy single-MSDU listeners need no change.
+    virtual void mac_rx_aggregated(const phy::Frame& frame, std::uint64_t ok_bits,
+                                   std::uint32_t release_below)
+    {
+        (void)frame;
+        (void)ok_bits;
+        (void)release_below;
+    }
 };
 
 /// IEEE 802.11 DCF (basic access, no RTS/CTS) over one NodePhy.
@@ -73,6 +86,12 @@ public:
     /// if it does not exist yet.
     void set_queue_cw_min(const QueueKey& key, int cw);
     int queue_cw_min(const QueueKey& key) const;
+
+    /// A-MPDU batch size (1 = legacy single-MSDU pipeline). Clamped to
+    /// [1, 64]; call before traffic starts — mid-run changes only take
+    /// effect at the next batch fill.
+    void set_ampdu_max_mpdus(int k);
+    bool aggregation_enabled() const { return params_.ampdu_max_mpdus > 1; }
 
     // --- fault injection ---
     /// Graceful teardown (node death): cancel the coordinator
@@ -139,6 +158,18 @@ public:
     /// cloned outcome the drop audit must allow.
     std::uint64_t teardown_aborts() const { return teardown_aborts_; }
 
+    /// MPDUs currently held in the sender's block-ack window: dequeued
+    /// from their interface queue but not yet settled (acked, retry-
+    /// dropped, or teardown-flushed). Counts as MAC-held backlog in the
+    /// drop audit's conservation laws.
+    std::uint64_t ampdu_pending() const { return ba_.window_size(); }
+    /// Window MPDUs surrendered by a node-down quiesce (the aggregated
+    /// analogue of a queue's dropped_node_down bucket: these packets were
+    /// dequeued but never settled on the air).
+    std::uint64_t ampdu_node_down_drops() const { return ampdu_node_down_drops_; }
+    /// Compressed block-acks transmitted by this MAC.
+    std::uint64_t block_acks_sent() const { return block_acks_sent_; }
+
 private:
     enum class State {
         kIdle,
@@ -164,8 +195,9 @@ private:
     void freeze_contention();
     /// Physical or virtual (NAV) carrier indicates a busy medium.
     bool medium_busy() const;
-    /// Extend the NAV to cover a sniffed data frame's ACK exchange.
-    void set_nav_for_ack();
+    /// Extend the NAV to cover a sniffed data frame's ACK (or, for
+    /// aggregated data, block-ack) exchange.
+    void set_nav_for_ack(bool aggregated);
     /// Extend the NAV to an absolute deadline (RTS/CTS Duration fields).
     void set_nav_until(SimTime until);
     void on_nav_expired();
@@ -174,9 +206,18 @@ private:
     void start_exchange();
     void transmit_rts();
     void transmit_data();
+    /// Build and transmit the A-MPDU carrying every unsettled window
+    /// entry (selective retransmit: settled MPDUs are already gone).
+    void transmit_aggregated();
     void on_ack_timeout();
     void on_cts_timeout();
     void finish_current(bool success);
+    /// Apply a block-ack verdict (or its timeout analogue) to the sender
+    /// window: report acked/dropped MPDUs upward, then either re-contend
+    /// for the remainder or finish the batch.
+    void settle_block_ack(const BlockAckManager::Settled& settled, bool any_acked);
+    /// CTS received: transmit the data frame SIFS later (timer callback).
+    void on_cts_data_follow_up();
     int effective_cw() const;
     void maybe_start_work();
     /// Airtime of the committed packet's data frame.
@@ -208,24 +249,34 @@ private:
     sim::Timer ack_timer_;
     sim::Timer cts_timer_;
 
-    // SIFS-spaced control responses (ACK / CTS), out-of-band wrt
-    // contention.
+    // SIFS-spaced control responses (ACK / CTS / block-ack), out-of-band
+    // wrt contention.
     struct PendingControl {
         phy::FrameType type;
         net::NodeId to;
         std::uint32_t seq;
         SimTime duration_us;  ///< NAV to advertise (CTS)
+        std::uint32_t ba_start = 0;   ///< kBlockAck: scoreboard window start
+        std::uint64_t ba_bitmap = 0;  ///< kBlockAck: compressed bitmap
     };
     std::deque<PendingControl> pending_ctrl_;
     bool ack_tx_scheduled_ = false;  ///< SIFS timer armed or control frame on air
-    /// Invalidates the un-cancellable schedule_in lambdas (SIFS control
-    /// trigger, its mid-TX slot retry, the CTS -> data follow-up): each
-    /// captures the generation at arming and quiesce() bumps it, so a
-    /// trigger that outlives a teardown — or a teardown plus revival —
-    /// can never drive the revived MAC's fresh control queue early.
-    std::uint64_t ctrl_gen_ = 0;
+    /// One re-armed timer per MAC for every SIFS/slot control trigger
+    /// (and one for the CTS -> data follow-up) instead of a fresh
+    /// scheduler insert per dialogue. Re-arming replaces the pending
+    /// expiry at the same call sites and instants a fresh insert would
+    /// have used, so event placement — and every golden — is unchanged;
+    /// quiesce simply cancels them (no generation counter needed: a
+    /// cancelled timer cannot fire after a teardown or revive).
+    sim::Timer ctrl_timer_;
+    sim::Timer cts_data_timer_;
     SimTime next_ctrl_at_ = -1;  ///< armed control trigger (-1: none/on air)
     SimTime cts_data_at_ = -1;   ///< armed CTS -> data follow-up (-1: none)
+
+    // A-MPDU batch state (aggregation_enabled() only; empty otherwise).
+    BlockAckManager ba_;
+    QueueKey batch_key_{};  ///< queue the active batch was filled from
+    std::vector<net::Packet> batch_fill_;  ///< pop_batch scratch
 
     std::uint32_t next_seq_ = 1;
     std::map<net::NodeId, std::uint32_t> last_rx_seq_;  ///< duplicate filter
@@ -238,6 +289,8 @@ private:
     std::uint64_t successes_ = 0;
     std::uint64_t dup_rx_suppressed_ = 0;
     std::uint64_t teardown_aborts_ = 0;
+    std::uint64_t ampdu_node_down_drops_ = 0;
+    std::uint64_t block_acks_sent_ = 0;
 };
 
 }  // namespace ezflow::mac

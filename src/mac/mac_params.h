@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "util/units.h"
 
 namespace ezflow::mac {
@@ -46,6 +48,17 @@ struct MacParams {
     /// Duration fields set third-party NAVs over the whole exchange.
     bool rts_cts_enabled = false;
     int rts_threshold_bytes = 0;
+
+    /// A-MPDU aggregation: maximum MPDUs dequeued into one TXOP batch.
+    /// 1 (the default) keeps the legacy one-MSDU-per-access pipeline —
+    /// the golden-pinned path — bit-exactly; values above 1 enable the
+    /// batch/block-ack machinery (capped at 64, the compressed block-ack
+    /// bitmap width). Aggregated access is always basic (no RTS/CTS).
+    int ampdu_max_mpdus = 1;
+    /// Byte ceiling on one A-MPDU batch (payload bytes of the batched
+    /// MSDUs); 0 means unlimited. The batch always admits at least one
+    /// MPDU so an oversized head-of-line packet cannot wedge the queue.
+    std::int64_t ampdu_max_bytes = 0;
 };
 
 }  // namespace ezflow::mac

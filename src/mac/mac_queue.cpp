@@ -57,6 +57,23 @@ void MacQueue::pop()
     if (!waiters_.empty()) notify_vacancy();
 }
 
+int MacQueue::pop_batch(int max_count, std::int64_t max_bytes, std::vector<net::Packet>& out)
+{
+    int taken = 0;
+    std::int64_t bytes = 0;
+    while (taken < max_count && !packets_.empty()) {
+        const std::int64_t next_bytes = bytes + packets_.front().bytes;
+        if (taken > 0 && max_bytes > 0 && next_bytes > max_bytes) break;
+        bytes = next_bytes;
+        out.push_back(std::move(packets_.front()));
+        packets_.pop_front();
+        ++dequeued_;
+        ++taken;
+    }
+    if (taken > 0 && !waiters_.empty()) notify_vacancy();
+    return taken;
+}
+
 std::uint64_t MacQueue::flush_node_down()
 {
     const auto count = static_cast<std::uint64_t>(packets_.size());

@@ -72,6 +72,13 @@ public:
     net::Packet& mutable_front();
     void pop();
 
+    /// Dequeue up to `max_count` packets (stopping before the packet that
+    /// would push the cumulative payload past `max_bytes`; 0 = unlimited,
+    /// and the first packet is always taken) into `out`. Counts each as
+    /// dequeued but wakes vacancy waiters once, after the whole batch —
+    /// the A-MPDU TXOP fill. Returns the number of packets taken.
+    int pop_batch(int max_count, std::int64_t max_bytes, std::vector<net::Packet>& out);
+
     /// Register `waiter` for a one-shot callback at the next pop. A
     /// waiter may re-register from within its own commit. Registration
     /// order is preserved (it is the tie-break of last resort when two

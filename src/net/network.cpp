@@ -34,6 +34,11 @@ void Network::set_phy_models(const phy::PhyModelConfig& models)
     for (auto& shard : shards_) shard->channel.set_models(models, config_.seed);
 }
 
+void Network::set_ampdu_max_mpdus(int k)
+{
+    for (auto& node : nodes_) node->mac().set_ampdu_max_mpdus(k);
+}
+
 void Network::set_reference_mode(const ReferenceModeFlags& flags)
 {
     reference_mode_ = flags;

@@ -61,6 +61,11 @@ void Node::teardown()
     // see the node as down.
     mac_.quiesce();
     phy_.power_off();
+    // Reorder-parked MPDUs die with the node: they were received but
+    // never released upward, so they leave the system through the same
+    // node-down bucket as flushed queue backlog.
+    for (auto& [src, stream] : reorder_) drops_node_down_ += stream.held.size();
+    reorder_.clear();
 }
 
 void Node::revive()
@@ -71,10 +76,8 @@ void Node::revive()
     mac_.revive();
 }
 
-void Node::mac_rx(const phy::Frame& frame)
+void Node::handle_packet(const Packet& packet)
 {
-    if (!frame.has_packet) throw std::logic_error("Node::mac_rx: data frame without packet");
-    const Packet& packet = frame.packet;
     if (packet.dst == id_) {
         ++delivered_;
         for (const auto& handler : delivery_) handler(packet);
@@ -91,6 +94,49 @@ void Node::mac_rx(const phy::Frame& frame)
     const mac::QueueKey key{next, /*own_traffic=*/false};
     if (interceptor_ && interceptor_(key, packet)) return;
     if (!mac_.enqueue(key, packet)) ++forward_queue_drops_;
+}
+
+void Node::mac_rx(const phy::Frame& frame)
+{
+    if (!frame.has_packet) throw std::logic_error("Node::mac_rx: data frame without packet");
+    handle_packet(frame.packet);
+}
+
+void Node::mac_rx_aggregated(const phy::Frame& frame, std::uint64_t ok_bits,
+                             std::uint32_t release_below)
+{
+    ReorderStream& stream = reorder_[frame.tx_node];
+    // Park the newly received MPDUs (the MAC's scoreboard already
+    // filtered duplicates, so each sequence lands here at most once).
+    for (std::size_t i = 0; i < frame.subframes.size() && i < 64; ++i) {
+        if (((ok_bits >> i) & 1) == 0) continue;
+        const phy::Mpdu& mpdu = frame.subframes[i];
+        if (mpdu.seq < stream.next_seq) continue;  // defensive: already released
+        stream.held.emplace(mpdu.seq, mpdu.packet);
+    }
+    // BAR-free window advance: the sender's advertised start proves every
+    // lower sequence is settled there (acked or abandoned), so release
+    // what we hold below it — in order — and skip the holes for good.
+    if (release_below > stream.next_seq) {
+        const auto end = stream.held.lower_bound(release_below);
+        for (auto it = stream.held.begin(); it != end; ++it) handle_packet(it->second);
+        stream.held.erase(stream.held.begin(), end);
+        stream.next_seq = release_below;
+    }
+    // Drain the contiguous in-order run from the buffer.
+    for (auto it = stream.held.find(stream.next_seq); it != stream.held.end();
+         it = stream.held.find(stream.next_seq)) {
+        handle_packet(it->second);
+        stream.held.erase(it);
+        ++stream.next_seq;
+    }
+}
+
+std::uint64_t Node::reorder_buffered() const
+{
+    std::uint64_t total = 0;
+    for (const auto& [src, stream] : reorder_) total += stream.held.size();
+    return total;
 }
 
 void Node::mac_sniffed(const phy::Frame& frame)

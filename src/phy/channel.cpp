@@ -53,6 +53,7 @@ void Channel::set_models(const PhyModelConfig& config, std::uint64_t network_see
     set_rate_manager(make_rate_manager(config));
     set_interference_mode(config.interference);
     if (config.noise_floor_w >= 0.0) params_.noise_floor_w = config.noise_floor_w;
+    if (config.weighted_overlap) params_.weighted_overlap_interference = true;
 }
 
 void Channel::set_propagation_model(std::unique_ptr<PropagationModel> model)
@@ -179,7 +180,25 @@ void Channel::transmit(NodePhy& sender, Frame frame)
         rx.capture_threshold = threshold;
         rx.in_delivery = in_delivery_range;
         rx.sensed = sensed;
-        rx.error = in_delivery_range && rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
+        rx.error = false;
+        rx.mpdu_error_bits = 0;
+        if (in_delivery_range) {
+            const std::size_t n_sub = shared.subframes.size();
+            if (n_sub > 0) {
+                // Aggregated frame: the per-link error model corrupts each
+                // MPDU independently (one roll per subframe from the same
+                // sampled loss), and `error` collapses to the legacy
+                // whole-frame verdict only when every subframe is lost.
+                const double loss = sample_link_loss(sender.id(), phy->id());
+                std::uint64_t bits = 0;
+                for (std::size_t i = 0; i < n_sub && i < 64; ++i)
+                    if (rng_.bernoulli(loss)) bits |= (1ull << i);
+                rx.mpdu_error_bits = bits;
+                rx.error = bits == (n_sub >= 64 ? ~0ull : (1ull << n_sub) - 1);
+            } else {
+                rx.error = rng_.bernoulli(sample_link_loss(sender.id(), phy->id()));
+            }
+        }
         phy->signal_start(rx);
         scheduler_.schedule_in(
             duration, [phy, signal_id, ref = record] { phy->signal_end(signal_id, *ref); });

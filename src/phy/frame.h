@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.h"
 #include "util/units.h"
@@ -11,7 +12,17 @@ namespace ezflow::phy {
 using net::NodeId;
 using util::SimTime;
 
-enum class FrameType { kData, kAck, kRts, kCts };
+enum class FrameType { kData, kAck, kRts, kCts, kBlockAck };
+
+/// One MPDU of an aggregated (A-MPDU) data frame: the MSDU payload plus
+/// its own MAC sequence number and retry count — each subframe succeeds or
+/// fails independently at the PHY and is acknowledged selectively by the
+/// compressed block-ack.
+struct Mpdu {
+    net::Packet packet{};
+    std::uint32_t seq = 0;
+    int retry = 0;  ///< retry index of this MPDU (0 = first transmission)
+};
 
 /// A MAC frame on the air. Data frames carry a Packet; control frames
 /// (ACK/RTS/CTS) carry only the MAC addressing needed for the exchange.
@@ -39,6 +50,23 @@ struct Frame {
     bool has_packet = false;
     net::Packet packet{};
 
+    /// A-MPDU subframes. Empty on every frame of the legacy one-MSDU
+    /// pipeline (the golden-pinned path); a data frame carrying MPDUs here
+    /// is one PPDU whose subframes are error-checked, acknowledged and
+    /// retransmitted individually. At most 64 (the compressed block-ack
+    /// bitmap width).
+    std::vector<Mpdu> subframes;
+    /// Sender window start advertised on aggregated data frames (the
+    /// oldest unsettled sequence number): the receiver releases its
+    /// scoreboard and reorder buffer below it, so abandoned MPDUs never
+    /// stall in-order delivery (BAR-free window advance). On kBlockAck
+    /// frames: the responder's scoreboard window start.
+    std::uint32_t ba_start_seq = 0;
+    /// kBlockAck only: bit j acknowledges sequence ba_start_seq + j.
+    std::uint64_t ba_bitmap = 0;
+
+    bool aggregated() const { return !subframes.empty(); }
+
     Frame() = default;
     Frame(Frame&&) = default;
     Frame& operator=(Frame&&) = default;
@@ -51,7 +79,10 @@ struct Frame {
           duration_us(other.duration_us),
           bitrate_bps(other.bitrate_bps),
           has_packet(other.has_packet),
-          packet(other.packet)
+          packet(other.packet),
+          subframes(other.subframes),
+          ba_start_seq(other.ba_start_seq),
+          ba_bitmap(other.ba_bitmap)
     {
         copy_counter().fetch_add(1, std::memory_order_relaxed);
     }
@@ -67,6 +98,9 @@ struct Frame {
             bitrate_bps = other.bitrate_bps;
             has_packet = other.has_packet;
             packet = other.packet;
+            subframes = other.subframes;
+            ba_start_seq = other.ba_start_seq;
+            ba_bitmap = other.ba_bitmap;
             copy_counter().fetch_add(1, std::memory_order_relaxed);
         }
         return *this;
@@ -105,32 +139,72 @@ struct PhyParams {
     /// (reference two-ray emits 1/d^4 for unit tx power). 0 keeps SINR a
     /// pure signal-to-interference ratio.
     double noise_floor_w = 0.0;
+    /// Interference weighting for the cumulative-SINR ledger: when set, an
+    /// interferer overlapping x% of a locked frame contributes x-weighted
+    /// energy to the capture test (settled once, at frame end) instead of
+    /// full power at every overlap instant. Off by default — the sticky
+    /// instantaneous test is the golden-pinned behaviour — and installed
+    /// via PhyModelConfig::weighted_overlap. A 100%-overlap interferer
+    /// yields the same verdict either way.
+    bool weighted_overlap_interference = false;
     std::int64_t bitrate_bps = 1'000'000;
     SimTime plcp_overhead_us = 192;  ///< long PLCP preamble + header at 1 Mb/s
     int mac_data_overhead_bytes = 36;  ///< 24 B MAC header + 4 B FCS + 8 B LLC/SNAP
     int ack_frame_bytes = 14;
     int rts_frame_bytes = 20;
     int cts_frame_bytes = 14;
+    /// A-MPDU subframe delimiter prepended to every aggregated MPDU.
+    int ampdu_delimiter_bytes = 4;
+    /// Compressed block-ack frame: control header + starting sequence +
+    /// 8-byte bitmap.
+    int ba_frame_bytes = 32;
 
     /// Airtime of a frame, in microseconds. The payload time is rounded
     /// UP, matching 802.11 symbol rounding: a partially filled final
     /// microsecond still occupies the medium (at 1 Mb/s every frame is an
     /// exact number of microseconds, so the paper figures are unaffected;
-    /// at 2/5.5/11 Mb/s truncation would undercount airtime).
+    /// at 2/5.5/11 Mb/s truncation would undercount airtime). An
+    /// aggregated data frame pays one PLCP for the whole PPDU plus the
+    /// per-MPDU MAC overhead and delimiter — the amortization that makes
+    /// A-MPDU a throughput (and events-per-byte) win.
     SimTime tx_duration(const Frame& frame) const
     {
-        int bytes = 0;
+        const std::int64_t rate = frame.bitrate_bps > 0 ? frame.bitrate_bps : bitrate_bps;
+        std::int64_t bytes = 0;
         switch (frame.type) {
             case FrameType::kAck: bytes = ack_frame_bytes; break;
             case FrameType::kRts: bytes = rts_frame_bytes; break;
             case FrameType::kCts: bytes = cts_frame_bytes; break;
+            case FrameType::kBlockAck: bytes = ba_frame_bytes; break;
             case FrameType::kData:
-                bytes = mac_data_overhead_bytes + (frame.has_packet ? frame.packet.bytes : 0);
+                if (frame.aggregated()) {
+                    for (const Mpdu& mpdu : frame.subframes)
+                        bytes += mac_data_overhead_bytes + ampdu_delimiter_bytes +
+                                 mpdu.packet.bytes;
+                } else {
+                    bytes = mac_data_overhead_bytes + (frame.has_packet ? frame.packet.bytes : 0);
+                }
                 break;
         }
-        const std::int64_t rate = frame.bitrate_bps > 0 ? frame.bitrate_bps : bitrate_bps;
-        const std::int64_t bits = static_cast<std::int64_t>(bytes) * 8;
+        const std::int64_t bits = bytes * 8;
         return plcp_overhead_us + (bits * 1'000'000 + rate - 1) / rate;
+    }
+
+    /// End offsets (microseconds from frame start) of every subframe of an
+    /// aggregated data frame; subframe i occupies [out[i-1], out[i]) with
+    /// the PLCP preamble attributed to subframe 0. The last offset equals
+    /// tx_duration(frame), so per-MPDU interference intervals tile the
+    /// PPDU airtime exactly.
+    void mpdu_end_offsets(const Frame& frame, std::vector<SimTime>& out) const
+    {
+        out.clear();
+        const std::int64_t rate = frame.bitrate_bps > 0 ? frame.bitrate_bps : bitrate_bps;
+        std::int64_t cum_bytes = 0;
+        for (const Mpdu& mpdu : frame.subframes) {
+            cum_bytes += mac_data_overhead_bytes + ampdu_delimiter_bytes + mpdu.packet.bytes;
+            const std::int64_t bits = cum_bytes * 8;
+            out.push_back(plcp_overhead_us + (bits * 1'000'000 + rate - 1) / rate);
+        }
     }
 
     /// Radius within which two nodes can interact at all — delivery, carrier

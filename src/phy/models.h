@@ -39,6 +39,11 @@ struct PhyModelConfig {
     /// Noise floor override for SINR mode; negative means keep
     /// `PhyParams::noise_floor_w`.
     double noise_floor_w = -1.0;
+    /// Partial-overlap interference weighting for the SINR ledger: an
+    /// interferer overlapping x% of a locked frame contributes x-weighted
+    /// energy (settled at frame end) instead of full power at any overlap
+    /// instant. Only meaningful with Interference::kSinrLedger.
+    bool weighted_overlap = false;
     int minstrel_probe_period = 10;
     double minstrel_ewma = 0.25;
 

@@ -29,6 +29,11 @@ struct RxEvent {
     bool in_delivery = false;  ///< within tx_range: decode candidate
     bool sensed = false;       ///< within cs_range: counts for energy detection
     bool error = false;        ///< per-link error model rolled a loss
+    /// Aggregated frames only: bit i set means the per-link error model
+    /// corrupted subframe i (the channel rolls once per MPDU instead of
+    /// once per PPDU). `error` is then the all-subframes-lost verdict —
+    /// a fully corrupted A-MPDU fails to lock, like a lost legacy frame.
+    std::uint64_t mpdu_error_bits = 0;
 
     bool decodable() const { return in_delivery && !error; }
 };
@@ -122,6 +127,12 @@ public:
     /// decode at this node (drives the MAC's EIFS rule).
     bool last_rx_error() const { return last_rx_error_; }
 
+    /// Per-MPDU corruption verdict of the most recently decoded aggregated
+    /// frame (error-model bits combined with the per-subframe interference
+    /// intervals). Valid during the phy_frame_decoded callback; 0 for
+    /// legacy frames.
+    std::uint64_t last_decode_mpdu_errors() const { return last_decode_mpdu_errors_; }
+
     // --- statistics ---
     std::uint64_t frames_decoded() const { return frames_decoded_; }
     std::uint64_t frames_corrupted() const { return frames_corrupted_; }
@@ -132,11 +143,24 @@ private:
         std::uint64_t id;
         double power_w;
         bool sensed;
+        SimTime start_us;  ///< arrival time (overlap weighting, interval tracking)
     };
 
     void update_busy();
     /// Sum of active signal powers excluding `except_id`.
     double interference_sum(std::uint64_t except_id) const;
+    /// Instantaneous capture test of the locked frame against the current
+    /// interference sum plus noise (true = below threshold, corrupting).
+    bool rx_below_threshold() const
+    {
+        return rx_power_w_ < rx_threshold_ * (interference_sum(rx_signal_id_) + rx_noise_w_);
+    }
+    /// Mark every subframe of the locked aggregated frame overlapping the
+    /// below-threshold interval [bad_from, bad_to) as corrupt.
+    void mark_mpdus_corrupt(SimTime bad_from, SimTime bad_to);
+    /// Whether the locked legacy frame defers its capture verdict to frame
+    /// end, integrating overlap-weighted interferer energy.
+    bool rx_weighted() const;
 
     net::NodeId id_;
     Position position_;
@@ -162,6 +186,21 @@ private:
     bool rx_corrupted_ = false;
     bool last_rx_error_ = false;
     double ledger_w_ = 0.0;  ///< incremental total of active signal power
+
+    // Aggregated reception: instead of the sticky whole-frame corruption
+    // bit, the PHY tracks the below-threshold intervals of the locked
+    // PPDU (interference changes only at signal edges, so the interval
+    // endpoints are observed exactly) and maps them onto subframe
+    // boundaries at recovery/frame end.
+    bool rx_aggregated_ = false;
+    SimTime rx_started_at_ = 0;
+    SimTime rx_bad_since_ = -1;  ///< start of the open below-threshold interval
+    std::uint64_t rx_mpdu_errors_ = 0;       ///< error-model + interference bits
+    std::vector<SimTime> rx_mpdu_ends_;      ///< subframe end offsets from lock
+    std::uint64_t last_decode_mpdu_errors_ = 0;
+    /// Overlap-weighted interferer energy-time integral (power x us) under
+    /// the locked frame; only accrued in weighted-overlap mode.
+    double rx_interference_integral_ = 0.0;
 
     std::uint64_t frames_decoded_ = 0;
     std::uint64_t frames_corrupted_ = 0;
